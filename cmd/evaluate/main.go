@@ -1,0 +1,136 @@
+// Command evaluate regenerates the paper's evaluation: the Figure 8 (STP),
+// Figure 9 (LPP), and Figure 10 (NIP) accuracy sweeps over the four session
+// reconstruction heuristics, printed as text tables and optionally CSV.
+//
+// Usage:
+//
+//	evaluate -experiment stp|lpp|nip|all [-agents 10000] [-seed 1]
+//	         [-pages 300] [-outdeg 15] [-csv DIR] [-session-stats] [-via-clf]
+//
+// Accuracy is reported under both readings of the paper's §5.1 metric:
+// matched (one-to-one, headline) and exists (any capturer counts); see
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"smartsra/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "stp, lpp, nip, all, or defaults (Table 5 point, replicated)")
+		agents     = flag.Int("agents", 10000, "agents per sweep point (Table 5: 10000)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		replicas   = flag.Int("replicas", 5, "seeds for -experiment defaults")
+		pages      = flag.Int("pages", 300, "topology size")
+		outdeg     = flag.Float64("outdeg", 15, "average out-degree")
+		csvDir     = flag.String("csv", "", "also write <experiment>.csv files to this directory")
+		svgDir     = flag.String("svg", "", "also write <experiment>.svg figures to this directory")
+		stats      = flag.Bool("session-stats", false, "also print reconstructed session shapes")
+		viaCLF     = flag.Bool("via-clf", false, "route requests through a full CLF encode/parse/clean pipeline")
+		withRef    = flag.Bool("include-referrer", false, "also evaluate the referrer-chain upper bound (heurR)")
+	)
+	flag.Parse()
+	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir, *stats, *viaCLF, *withRef); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
+	csvDir, svgDir string, sessionStats, viaCLF, withRef bool) error {
+	base := eval.PaperDefaults()
+	base.Params.Agents = agents
+	base.Params.Seed = seed
+	base.Topology.Pages = pages
+	base.Topology.AvgOutDegree = outdeg
+	base.ViaCLF = viaCLF
+	base.IncludeReferrer = withRef
+
+	if experiment == "defaults" {
+		seeds := make([]int64, replicas)
+		for i := range seeds {
+			seeds[i] = seed + int64(i)
+		}
+		rep, err := eval.Replicate(base, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table 5 defaults, %d agents\n", agents)
+		return rep.WriteTable(os.Stdout)
+	}
+
+	var experiments []eval.Experiment
+	switch experiment {
+	case "stp":
+		experiments = []eval.Experiment{eval.Figure8(base)}
+	case "lpp":
+		experiments = []eval.Experiment{eval.Figure9(base)}
+	case "nip":
+		experiments = []eval.Experiment{eval.Figure10(base)}
+	case "all":
+		experiments = []eval.Experiment{eval.Figure8(base), eval.Figure9(base), eval.Figure10(base)}
+	default:
+		return fmt.Errorf("unknown experiment %q (want stp, lpp, nip, or all)", experiment)
+	}
+
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := e.Run()
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+		shape := res.CheckShape()
+		fmt.Printf("shape: smartSRA-best-everywhere=%v beats-time-everywhere=%v min-relative-margin=%+.2f decline=%v\n",
+			shape.SmartSRAAlwaysBest, shape.SmartSRAAlwaysBeatsTime,
+			shape.MinRelativeMargin, shape.MonotoneDecline)
+		if sessionStats {
+			if err := res.WriteSessionStats(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if csvDir != "" {
+			if err := writeArtifact(csvDir, e.Name+".csv", res.WriteCSV); err != nil {
+				return err
+			}
+		}
+		if svgDir != "" {
+			if err := writeArtifact(svgDir, e.Name+".svg", res.WriteSVG); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeArtifact writes one output file via fill, creating the directory.
+func writeArtifact(dir, name string, fill func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

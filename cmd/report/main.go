@@ -1,0 +1,82 @@
+// Command report produces a usage-analytics summary from a CLF access log:
+// it reconstructs sessions (Smart-SRA by default) and prints page
+// popularity, entry/exit pages, session length/duration statistics, and
+// hourly traffic.
+//
+// Usage:
+//
+//	report -topology topology.json -log access.log [-heuristic heur4] [-top 15]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"smartsra/internal/core"
+	"smartsra/internal/heuristics"
+	"smartsra/internal/report"
+	"smartsra/internal/webgraph"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON written by simgen (required)")
+		logPath  = flag.String("log", "", "CLF access log (required; - for stdin)")
+		heur     = flag.String("heuristic", "heur4", "heur1|heur2|heur3|heur4")
+		top      = flag.Int("top", 15, "rows per ranking")
+	)
+	flag.Parse()
+	if *topoPath == "" || *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*topoPath, *logPath, *heur, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, logPath, heur string, top int) error {
+	tf, err := os.Open(topoPath)
+	if err != nil {
+		return err
+	}
+	g, err := webgraph.Decode(bufio.NewReader(tf))
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	var h heuristics.Reconstructor
+	switch heur {
+	case "heur1":
+		h = heuristics.NewTimeTotal()
+	case "heur2":
+		h = heuristics.NewTimeGap()
+	case "heur3":
+		h = heuristics.NewNavigation(g)
+	case "heur4":
+		h = heuristics.NewSmartSRA(g)
+	default:
+		return fmt.Errorf("unknown heuristic %q", heur)
+	}
+	pipeline, err := core.NewPipeline(core.Config{Graph: g, Heuristic: h})
+	if err != nil {
+		return err
+	}
+	in := os.Stdin
+	if logPath != "-" {
+		in, err = os.Open(logPath)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+	}
+	res, err := pipeline.ProcessLog(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pipeline: %s\n", res.Stats)
+	return report.Build(res.Sessions).Write(os.Stdout, g, top)
+}

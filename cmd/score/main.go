@@ -1,0 +1,69 @@
+// Command score computes the paper's §5.1 accuracy of a reconstructed
+// session file against a ground-truth session file (both in the
+// user:[p1 p2 ...] text format that simgen and sessionize emit).
+//
+// Usage:
+//
+//	simgen -out site -agents 2000
+//	sessionize -topology site/topology.json -log site/access.log > site/sessions.heur4
+//	score -real site/sessions.real -reconstructed site/sessions.heur4
+//
+// Both metric readings are reported: matched (one-to-one credit, headline)
+// and exists (any capturing candidate counts).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"smartsra/internal/eval"
+	"smartsra/internal/session"
+)
+
+func main() {
+	var (
+		realPath  = flag.String("real", "", "ground-truth session file (required)")
+		reconPath = flag.String("reconstructed", "", "reconstructed session file (required; - for stdin)")
+	)
+	flag.Parse()
+	if *realPath == "" || *reconPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*realPath, *reconPath); err != nil {
+		fmt.Fprintln(os.Stderr, "score:", err)
+		os.Exit(1)
+	}
+}
+
+func run(realPath, reconPath string) error {
+	real, err := readSessions(realPath)
+	if err != nil {
+		return fmt.Errorf("ground truth: %w", err)
+	}
+	recon, err := readSessions(reconPath)
+	if err != nil {
+		return fmt.Errorf("reconstructed: %w", err)
+	}
+	matched := eval.ScoreMatched(real, recon)
+	exists := eval.Score(real, recon)
+	fmt.Printf("real sessions:          %d (%s)\n", len(real), eval.Summarize(real))
+	fmt.Printf("reconstructed sessions: %d (%s)\n", len(recon), eval.Summarize(recon))
+	fmt.Printf("accuracy (matched):     %s\n", matched)
+	fmt.Printf("accuracy (exists):      %s\n", exists)
+	return nil
+}
+
+func readSessions(path string) ([]session.Session, error) {
+	if path == "-" {
+		return session.ReadAll(bufio.NewReader(os.Stdin))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return session.ReadAll(bufio.NewReader(f))
+}

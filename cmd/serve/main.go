@@ -1,0 +1,101 @@
+// Command serve runs a topology as a real website over HTTP, writing a
+// Common or Combined Log Format access log as traffic arrives — a live
+// substrate for the reactive pipeline. Browse it, crawl it, or point load
+// generators at it; then feed the log to cmd/sessionize.
+//
+// Usage:
+//
+//	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
+//
+// The log flushes on every request batch and on shutdown (Ctrl-C kills the
+// process; use a file and tail -f to watch).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/webgraph"
+	"smartsra/internal/webserver"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON written by simgen (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		logPath  = flag.String("log", "", "access log file (default: stderr)")
+		combined = flag.Bool("combined", false, "write Combined Log Format")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*topoPath, *addr, *logPath, *combined); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, addr, logPath string, combined bool) error {
+	tf, err := os.Open(topoPath)
+	if err != nil {
+		return err
+	}
+	g, err := webgraph.Decode(bufio.NewReader(tf))
+	tf.Close()
+	if err != nil {
+		return err
+	}
+
+	out := os.Stderr
+	if logPath != "" {
+		out, err = os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	var w *clf.Writer
+	if combined {
+		w = clf.NewCombinedWriter(out)
+	} else {
+		w = clf.NewWriter(out)
+	}
+	sink := webserver.NewWriterSink(w)
+
+	handler := webserver.AccessLog(webserver.NewSite(g), flushAfter{sink}, time.Now)
+	fmt.Printf("serving %s on %s (log: %s, format: %s)\n",
+		g, addr, orStderr(logPath), format(combined))
+	return http.ListenAndServe(addr, handler)
+}
+
+// flushAfter flushes the log after every record so tail -f works.
+type flushAfter struct{ sink *webserver.WriterSink }
+
+// Record implements webserver.LogSink.
+func (f flushAfter) Record(r clf.Record) {
+	f.sink.Record(r)
+	if err := f.sink.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: log write:", err)
+	}
+}
+
+func orStderr(p string) string {
+	if p == "" {
+		return "stderr"
+	}
+	return p
+}
+
+func format(combined bool) string {
+	if combined {
+		return "combined"
+	}
+	return "common"
+}

@@ -1,0 +1,138 @@
+// Command sessionize runs the reactive data-processing pipeline on a Common
+// Log Format access log: cleaning, user identification, and session
+// reconstruction with a chosen heuristic (Smart-SRA by default). It prints
+// one session per line plus pipeline statistics.
+//
+// Usage:
+//
+//	sessionize -topology topology.json -log access.log [-heuristic heur4]
+//	           [-no-clean] [-stats-only]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/core"
+	"smartsra/internal/heuristics"
+	"smartsra/internal/referrer"
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology JSON written by simgen (required)")
+		logPath   = flag.String("log", "", "CLF access log (required; - for stdin)")
+		heur      = flag.String("heuristic", "heur4", "heur1|heur2|heur3|heur4|referrer (referrer needs a combined-format log)")
+		noClean   = flag.Bool("no-clean", false, "skip the standard data-cleaning filter")
+		statsOnly = flag.Bool("stats-only", false, "print statistics but not the sessions")
+	)
+	flag.Parse()
+	if *topoPath == "" || *logPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, logPath, heur string, noClean, statsOnly bool) error {
+	tf, err := os.Open(topoPath)
+	if err != nil {
+		return err
+	}
+	g, err := webgraph.Decode(bufio.NewReader(tf))
+	tf.Close()
+	if err != nil {
+		return err
+	}
+
+	in := os.Stdin
+	if logPath != "-" {
+		in, err = os.Open(logPath)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+	}
+
+	if heur == "referrer" {
+		return runReferrer(g, in, statsOnly)
+	}
+
+	h, err := pickHeuristic(heur, g)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Graph: g, Heuristic: h}
+	if noClean {
+		cfg.Filter = clf.KeepAll
+	}
+	pipeline, err := core.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := pipeline.ProcessLog(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	if !statsOnly {
+		if err := session.WriteAll(os.Stdout, res.Sessions); err != nil {
+			return err
+		}
+	}
+	if d, ok := h.(heuristics.Describer); ok {
+		fmt.Fprintf(os.Stderr, "heuristic: %s — %s\n", h.Name(), d.Describe())
+	}
+	fmt.Fprintf(os.Stderr, "pipeline:  %s\n", res.Stats)
+	return nil
+}
+
+// runReferrer sessionizes a combined-format log by referrer chaining.
+func runReferrer(g *webgraph.Graph, in *os.File, statsOnly bool) error {
+	records, malformed, err := clf.ReadAll(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	cleaned, dropped := clf.Apply(records, clf.StandardCleaning())
+	r := referrer.New(g)
+	sessions, err := r.Reconstruct(cleaned)
+	if err != nil {
+		return err
+	}
+	if !statsOnly {
+		if err := session.WriteAll(os.Stdout, sessions); err != nil {
+			return err
+		}
+	}
+	withRef := 0
+	for _, rec := range cleaned {
+		if rec.HasReferer() {
+			withRef++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "heuristic: %s — %s\n", r.Name(), r.Describe())
+	fmt.Fprintf(os.Stderr, "pipeline:  records=%d malformed=%d filtered=%d with-referer=%d sessions=%d\n",
+		len(records), malformed, dropped, withRef, len(sessions))
+	return nil
+}
+
+func pickHeuristic(name string, g *webgraph.Graph) (heuristics.Reconstructor, error) {
+	switch name {
+	case "heur1":
+		return heuristics.NewTimeTotal(), nil
+	case "heur2":
+		return heuristics.NewTimeGap(), nil
+	case "heur3":
+		return heuristics.NewNavigation(g), nil
+	case "heur4":
+		return heuristics.NewSmartSRA(g), nil
+	}
+	return nil, fmt.Errorf("unknown heuristic %q (want heur1..heur4)", name)
+}

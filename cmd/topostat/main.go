@@ -1,0 +1,107 @@
+// Command topostat reports the structure of a site topology: degree
+// distributions, reachability from start pages, and PageRank popularity —
+// the web-structure-mining view of the site whose usage the rest of the
+// toolchain mines. It can also re-export the topology as Graphviz DOT.
+//
+// Usage:
+//
+//	topostat -topology topology.json [-top 10] [-dot site.dot]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"smartsra/internal/stats"
+	"smartsra/internal/webgraph"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON written by simgen (required)")
+		top      = flag.Int("top", 10, "how many top-PageRank pages to list")
+		dotPath  = flag.String("dot", "", "also write Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*topoPath, *top, *dotPath); err != nil {
+		fmt.Fprintln(os.Stderr, "topostat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath string, top int, dotPath string) error {
+	f, err := os.Open(topoPath)
+	if err != nil {
+		return err
+	}
+	g, err := webgraph.Decode(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	analysis := g.Analyze()
+	fmt.Println(analysis)
+
+	if h := degreeHistogram(g, analysis.InDegree.Max); h != nil {
+		fmt.Println("\nin-degree distribution:")
+		fmt.Print(h)
+	}
+
+	rank, err := g.PageRank(0.85, 1e-10, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntop %d pages by PageRank:\n", top)
+	for i, p := range webgraph.TopPages(rank, top) {
+		marker := ""
+		if g.IsStartPage(p) {
+			marker = "  [start page]"
+		}
+		fmt.Printf("%3d. %-24s %.5f  (in: %d, out: %d)%s\n",
+			i+1, g.Label(p), rank[p], g.InDegree(p), g.OutDegree(p), marker)
+	}
+
+	if dotPath != "" {
+		df, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(df)
+		if err := g.WriteDOT(w, "site"); err != nil {
+			df.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			df.Close()
+			return err
+		}
+		if err := df.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", dotPath)
+	}
+	return nil
+}
+
+// degreeHistogram builds a 10-bin in-degree histogram, or nil for trivial
+// graphs.
+func degreeHistogram(g *webgraph.Graph, maxIn int) *stats.Histogram {
+	if g.NumPages() == 0 || maxIn < 1 {
+		return nil
+	}
+	h, err := stats.NewHistogram(0, float64(maxIn+1), 10)
+	if err != nil {
+		return nil
+	}
+	for _, p := range g.Pages() {
+		h.Add(float64(g.InDegree(p)))
+	}
+	return h
+}

@@ -1,0 +1,158 @@
+// E-commerce: session reconstruction and pattern mining on a store site.
+//
+// It hand-builds a small online-store topology (home → categories →
+// products → cart → checkout), simulates shoppers over it, reconstructs
+// their sessions from the server log with Smart-SRA, and mines the frequent
+// navigation paths and association rules — surfacing funnels like
+// "product → cart → checkout" that site-reorganization and link-prediction
+// applications (the paper's motivating uses) consume.
+//
+// Run with: go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartsra/internal/core"
+	"smartsra/internal/mining"
+	"smartsra/internal/simulator"
+	"smartsra/internal/webgraph"
+)
+
+func main() {
+	g, names := storeTopology()
+	fmt.Println("store:", g)
+
+	params := simulator.PaperParams()
+	params.Agents = 2000
+	params.Seed = 7
+	params.NIP = 0.05 // shoppers rarely jump back to the home page mid-visit
+	params.LPP = 0.35 // but browse back and forth between products a lot
+	sim, err := simulator.Run(g, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traffic:", sim.Stats)
+
+	pipeline, err := core.NewPipeline(core.Config{Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipeline.ProcessRecords(sim.Log(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sessions:", res.Stats)
+
+	patterns, err := mining.Mine(res.Sessions, mining.Config{
+		MinSupport:  25,
+		MaxLength:   4,
+		Containment: mining.Contiguous,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop navigation paths (of %d frequent patterns):\n", len(patterns))
+	shown := 0
+	for _, p := range patterns {
+		if len(p.Pages) < 2 {
+			continue
+		}
+		fmt.Printf("  x%-4d %s\n", p.Support, path(names, p.Pages))
+		if shown++; shown == 10 {
+			break
+		}
+	}
+
+	rules := mining.Rules(patterns, 0.4)
+	fmt.Printf("\nnavigation rules (confidence ≥ 0.40):\n")
+	for i, r := range rules {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %.0f%%  %s => %s (x%d)\n",
+			r.Confidence*100, path(names, r.Antecedent), names[r.Consequent], r.Support)
+	}
+}
+
+// path renders page IDs as store page names.
+func path(names []string, pages []webgraph.PageID) string {
+	out := ""
+	for i, p := range pages {
+		if i > 0 {
+			out += " -> "
+		}
+		out += names[p]
+	}
+	return out
+}
+
+// storeTopology builds a 27-page store: home, 3 categories with 6 products
+// each, search, cart, checkout, order-confirmation, and account pages.
+func storeTopology() (*webgraph.Graph, []string) {
+	names := []string{"home", "search", "cart", "checkout", "confirmation", "account"}
+	categories := []string{"books", "music", "games"}
+	for _, c := range categories {
+		names = append(names, "cat/"+c)
+		for i := 1; i <= 6; i++ {
+			names = append(names, fmt.Sprintf("%s/item%d", c, i))
+		}
+	}
+	idx := make(map[string]webgraph.PageID, len(names))
+	for i, n := range names {
+		idx[n] = webgraph.PageID(i)
+	}
+	b := webgraph.NewBuilder(len(names))
+	for i, n := range names {
+		if err := b.SetLabel(webgraph.PageID(i), "/"+n+".html"); err != nil {
+			log.Fatal(err)
+		}
+		_ = n
+	}
+	edge := func(from, to string) {
+		if err := b.AddEdge(idx[from], idx[to]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Home links everywhere top-level; search reaches every product.
+	for _, c := range categories {
+		edge("home", "cat/"+c)
+	}
+	edge("home", "search")
+	edge("home", "cart")
+	edge("home", "account")
+	for _, c := range categories {
+		cat := "cat/" + c
+		edge(cat, "home")
+		edge(cat, "cart")
+		for i := 1; i <= 6; i++ {
+			item := fmt.Sprintf("%s/item%d", c, i)
+			edge(cat, item)
+			edge(item, cat)
+			edge(item, "cart")
+			edge("search", item)
+			// Cross-sell links between neighboring products.
+			if i > 1 {
+				prev := fmt.Sprintf("%s/item%d", c, i-1)
+				edge(prev, item)
+			}
+		}
+	}
+	edge("cart", "checkout")
+	edge("cart", "home")
+	edge("checkout", "confirmation")
+	edge("confirmation", "home")
+	edge("account", "home")
+	// Shoppers arrive at home, at a category (ads), or at search.
+	for _, entry := range []string{"home", "search", "cat/books"} {
+		if err := b.MarkStartPage(idx[entry]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g, names
+}

@@ -1,0 +1,3 @@
+module smartsra
+
+go 1.22

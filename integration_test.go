@@ -1,0 +1,205 @@
+package smartsra
+
+// Integration tests for the command-line surface: every cmd/ binary is
+// compiled once and driven through the documented end-to-end workflow
+// (simgen → sessionize → score → report → topostat → wumine → evaluate)
+// against a temporary directory. These catch flag drift, broken wiring
+// between tools, and file-format regressions that unit tests cannot see.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command into dir and returns a runner.
+func buildTools(t *testing.T, dir string) func(tool string, args ...string) (string, string) {
+	t.Helper()
+	tools := []string{"simgen", "sessionize", "score", "report", "topostat", "wumine", "evaluate", "serve"}
+	for _, tool := range tools {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return func(tool string, args ...string) (stdout, stderr string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, tool), args...)
+		var so, se strings.Builder
+		cmd.Stdout, cmd.Stderr = &so, &se
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s",
+				tool, args, err, so.String(), se.String())
+		}
+		return so.String(), se.String()
+	}
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run := buildTools(t, dir)
+	site := filepath.Join(dir, "site")
+
+	// simgen: topology + log + ground truth.
+	out, _ := run("simgen", "-out", site, "-agents", "300", "-seed", "11", "-pages", "120", "-combined")
+	if !strings.Contains(out, "pages: 120") {
+		t.Errorf("simgen output:\n%s", out)
+	}
+	for _, f := range []string{"topology.json", "access.log", "sessions.real"} {
+		if _, err := os.Stat(filepath.Join(site, f)); err != nil {
+			t.Fatalf("simgen did not write %s: %v", f, err)
+		}
+	}
+
+	topo := filepath.Join(site, "topology.json")
+	logf := filepath.Join(site, "access.log")
+
+	// sessionize with Smart-SRA.
+	sessions, stderr := run("sessionize", "-topology", topo, "-log", logf)
+	if !strings.Contains(stderr, "heur4") {
+		t.Errorf("sessionize stderr:\n%s", stderr)
+	}
+	heur4File := filepath.Join(site, "sessions.heur4")
+	if err := os.WriteFile(heur4File, []byte(sessions), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// sessionize with the referrer chain (combined log).
+	refSessions, refErr := run("sessionize", "-topology", topo, "-log", logf, "-heuristic", "referrer")
+	if !strings.Contains(refErr, "heurR") || !strings.Contains(refErr, "with-referer=") {
+		t.Errorf("referrer stderr:\n%s", refErr)
+	}
+	refFile := filepath.Join(site, "sessions.ref")
+	if err := os.WriteFile(refFile, []byte(refSessions), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// score both against ground truth; the referrer chain must win.
+	real := filepath.Join(site, "sessions.real")
+	s4, _ := run("score", "-real", real, "-reconstructed", heur4File)
+	sr, _ := run("score", "-real", real, "-reconstructed", refFile)
+	acc4 := extractPercent(t, s4, "accuracy (matched):")
+	accR := extractPercent(t, sr, "accuracy (matched):")
+	if acc4 <= 20 || acc4 >= 100 {
+		t.Errorf("heur4 matched accuracy %.1f%% implausible\n%s", acc4, s4)
+	}
+	if accR <= acc4 {
+		t.Errorf("referrer chain (%.1f%%) not above Smart-SRA (%.1f%%)", accR, acc4)
+	}
+
+	// report: analytics summary.
+	rep, _ := run("report", "-topology", topo, "-log", logf, "-top", "3")
+	for _, want := range []string{"sessions:", "top entry pages", "sessions by start hour"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	// topostat: structure + PageRank + DOT.
+	dot := filepath.Join(site, "site.dot")
+	ts, _ := run("topostat", "-topology", topo, "-top", "3", "-dot", dot)
+	if !strings.Contains(ts, "PageRank") || !strings.Contains(ts, "strongly connected") {
+		t.Errorf("topostat output:\n%s", ts)
+	}
+	if data, err := os.ReadFile(dot); err != nil || !strings.Contains(string(data), "digraph") {
+		t.Errorf("DOT file: %v", err)
+	}
+
+	// wumine: frequent patterns.
+	wm, _ := run("wumine", "-topology", topo, "-log", logf, "-min-support", "5", "-top", "3")
+	if !strings.Contains(wm, "frequent patterns") || !strings.Contains(wm, "association rules") {
+		t.Errorf("wumine output:\n%s", wm)
+	}
+
+	// evaluate: a miniature sweep and the replicated defaults.
+	ev, _ := run("evaluate", "-experiment", "nip", "-agents", "120", "-pages", "80")
+	if !strings.Contains(ev, "figure10") || !strings.Contains(ev, "shape:") {
+		t.Errorf("evaluate output:\n%s", ev)
+	}
+	def, _ := run("evaluate", "-experiment", "defaults", "-agents", "120", "-replicas", "2")
+	if !strings.Contains(def, "±") {
+		t.Errorf("evaluate defaults output:\n%s", def)
+	}
+}
+
+// extractPercent pulls the percentage out of a line like
+// "accuracy (matched):     123/456 (27.0%)".
+func extractPercent(t *testing.T, out, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, prefix) {
+			continue
+		}
+		open := strings.LastIndexByte(line, '(')
+		close := strings.LastIndexByte(line, '%')
+		if open < 0 || close <= open {
+			break
+		}
+		v, err := strconv.ParseFloat(line[open+1:close], 64)
+		if err != nil {
+			break
+		}
+		return v
+	}
+	t.Fatalf("no %q line in:\n%s", prefix, out)
+	return 0
+}
+
+// TestExamplesRun executes every example main end to end; examples are
+// documentation that must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 6 {
+		t.Fatalf("expected at least 6 examples, found %v", examples)
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", dir)
+			}
+		})
+	}
+}
+
+// TestCLIErrors checks the tools fail loudly on bad invocations.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run := exec.Command("go", "build", "-o", filepath.Join(dir, "sessionize"), "./cmd/sessionize")
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cases := [][]string{
+		{}, // missing required flags
+		{"-topology", "/no/such/file", "-log", "-"}, // unreadable topology
+	}
+	for _, args := range cases {
+		cmd := exec.Command(filepath.Join(dir, "sessionize"), args...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("sessionize %v succeeded, want failure", args)
+		}
+	}
+}

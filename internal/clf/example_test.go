@@ -1,0 +1,57 @@
+package clf_test
+
+import (
+	"fmt"
+	"strings"
+
+	"smartsra/internal/clf"
+)
+
+// ExampleParseRecord parses one Common Log Format line.
+func ExampleParseRecord() {
+	line := `10.0.0.7 - - [02/Jan/2006:15:04:05 +0000] "GET /p/17.html HTTP/1.1" 200 512`
+	rec, err := clf.ParseRecord(line)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rec.Host, rec.URI, rec.Status)
+	// Output: 10.0.0.7 /p/17.html 200
+}
+
+// ExampleStandardCleaning shows the conventional data-cleaning filter.
+func ExampleStandardCleaning() {
+	f := clf.StandardCleaning()
+	lines := []string{
+		`1.1.1.1 - - [02/Jan/2006:15:04:05 +0000] "GET /page.html HTTP/1.1" 200 10`,
+		`1.1.1.1 - - [02/Jan/2006:15:04:06 +0000] "GET /logo.png HTTP/1.1" 200 10`,
+		`1.1.1.1 - - [02/Jan/2006:15:04:07 +0000] "GET /gone.html HTTP/1.1" 404 10`,
+	}
+	for _, l := range lines {
+		rec, _ := clf.ParseRecord(l)
+		fmt.Println(rec.URI, f(rec))
+	}
+	// Output:
+	// /page.html true
+	// /logo.png false
+	// /gone.html false
+}
+
+// ExampleScanner streams records out of a log, skipping malformed lines.
+func ExampleScanner() {
+	log := `10.0.0.7 - - [02/Jan/2006:15:04:05 +0000] "GET /a.html HTTP/1.1" 200 1
+not a log line
+10.0.0.8 - - [02/Jan/2006:15:05:05 +0000] "GET /b.html HTTP/1.1" 200 2 "/a.html" "Mozilla/5.0"
+`
+	sc := clf.NewScanner(strings.NewReader(log))
+	for sc.Scan() {
+		rec := sc.Record()
+		fmt.Printf("%s referer=%q\n", rec.URI, rec.Referer)
+	}
+	bad, _ := sc.Malformed()
+	fmt.Println("malformed:", bad)
+	// Output:
+	// /a.html referer=""
+	// /b.html referer="/a.html"
+	// malformed: 1
+}

@@ -1,0 +1,142 @@
+package clf
+
+import (
+	"strings"
+	"time"
+)
+
+// Filter decides whether a record survives data cleaning. Filters return
+// true to KEEP the record.
+//
+// The paper's data-processing phase first "filters relevant information from
+// the logs": session reconstruction wants exactly one record per page view,
+// so embedded resources (images, stylesheets), failed requests, non-GET
+// methods, and crawler traffic are dropped before user identification.
+type Filter func(Record) bool
+
+// KeepAll keeps every record; useful as an explicit no-op.
+func KeepAll(Record) bool { return true }
+
+// SuccessOnly keeps records with 2xx status codes.
+func SuccessOnly(r Record) bool { return r.Success() }
+
+// MethodGET keeps only GET requests (the paper restricts to page fetches).
+func MethodGET(r Record) bool { return r.Method == "GET" }
+
+// defaultResourceSuffixes are path suffixes that denote embedded resources
+// rather than page views.
+var defaultResourceSuffixes = []string{
+	".gif", ".jpg", ".jpeg", ".png", ".ico", ".bmp", ".svg",
+	".css", ".js", ".swf", ".woff", ".woff2", ".ttf",
+	".mp3", ".mp4", ".avi", ".mpeg", ".pdf", ".zip", ".gz",
+}
+
+// DropResources drops requests for embedded resources (images, scripts,
+// styles, media, archives) using the conventional suffix list. Query strings
+// and fragments are stripped before matching.
+func DropResources(r Record) bool {
+	return !hasAnySuffix(pathOnly(r.URI), defaultResourceSuffixes)
+}
+
+// DropSuffixes returns a filter that drops any URI whose path ends with one
+// of the given suffixes (case-insensitive).
+func DropSuffixes(suffixes ...string) Filter {
+	lowered := make([]string, len(suffixes))
+	for i, s := range suffixes {
+		lowered[i] = strings.ToLower(s)
+	}
+	return func(r Record) bool {
+		return !hasAnySuffix(pathOnly(r.URI), lowered)
+	}
+}
+
+// DropRobots drops requests for /robots.txt (a crawler signature; CLF lacks
+// a user-agent field, so the path is the only available signal).
+func DropRobots(r Record) bool {
+	return pathOnly(r.URI) != "/robots.txt"
+}
+
+// DropUserAgentContaining returns a filter dropping records whose combined-
+// format user agent contains any of the given substrings
+// (case-insensitive) — the standard way to remove crawler traffic when the
+// log carries user agents. Common-format records (no user agent) are kept.
+func DropUserAgentContaining(substrings ...string) Filter {
+	lowered := make([]string, len(substrings))
+	for i, s := range substrings {
+		lowered[i] = strings.ToLower(s)
+	}
+	return func(r Record) bool {
+		if r.UserAgent == "" || r.UserAgent == NoField {
+			return true
+		}
+		ua := strings.ToLower(r.UserAgent)
+		for _, s := range lowered {
+			if strings.Contains(ua, s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TimeWindow returns a filter keeping records within [from, to). Zero times
+// disable that bound.
+func TimeWindow(from, to time.Time) Filter {
+	return func(r Record) bool {
+		if !from.IsZero() && r.Time.Before(from) {
+			return false
+		}
+		if !to.IsZero() && !r.Time.Before(to) {
+			return false
+		}
+		return true
+	}
+}
+
+// Chain combines filters; a record survives only if every filter keeps it.
+func Chain(filters ...Filter) Filter {
+	return func(r Record) bool {
+		for _, f := range filters {
+			if !f(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StandardCleaning is the conventional WUM cleaning pipeline: successful GET
+// page views only, no embedded resources, no robots.txt probes.
+func StandardCleaning() Filter {
+	return Chain(SuccessOnly, MethodGET, DropResources, DropRobots)
+}
+
+// Apply filters records in order, returning the survivors and the number
+// dropped. The input slice is not modified.
+func Apply(records []Record, f Filter) (kept []Record, dropped int) {
+	kept = make([]Record, 0, len(records))
+	for _, r := range records {
+		if f(r) {
+			kept = append(kept, r)
+		} else {
+			dropped++
+		}
+	}
+	return kept, dropped
+}
+
+func pathOnly(uri string) string {
+	if i := strings.IndexAny(uri, "?#"); i >= 0 {
+		uri = uri[:i]
+	}
+	return strings.ToLower(uri)
+}
+
+func hasAnySuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package clf
+
+import (
+	"testing"
+	"time"
+)
+
+func rec(method, uri string, status int) Record {
+	return Record{
+		Host: "10.0.0.1", Time: time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC),
+		Method: method, URI: uri, Protocol: "HTTP/1.1", Status: status, Bytes: 1,
+	}
+}
+
+func TestBasicFilters(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Filter
+		r    Record
+		keep bool
+	}{
+		{"KeepAll keeps", KeepAll, rec("POST", "/x", 500), true},
+		{"SuccessOnly keeps 200", SuccessOnly, rec("GET", "/x", 200), true},
+		{"SuccessOnly keeps 204", SuccessOnly, rec("GET", "/x", 204), true},
+		{"SuccessOnly drops 404", SuccessOnly, rec("GET", "/x", 404), false},
+		{"SuccessOnly drops 301", SuccessOnly, rec("GET", "/x", 301), false},
+		{"MethodGET keeps GET", MethodGET, rec("GET", "/x", 200), true},
+		{"MethodGET drops POST", MethodGET, rec("POST", "/x", 200), false},
+		{"MethodGET drops HEAD", MethodGET, rec("HEAD", "/x", 200), false},
+		{"DropResources drops gif", DropResources, rec("GET", "/img/logo.gif", 200), false},
+		{"DropResources drops uppercase JPG", DropResources, rec("GET", "/a/B.JPG", 200), false},
+		{"DropResources drops css with query", DropResources, rec("GET", "/s.css?v=2", 200), false},
+		{"DropResources keeps html", DropResources, rec("GET", "/page.html", 200), true},
+		{"DropResources keeps path containing .gif dir", DropResources, rec("GET", "/x.gif/page", 200), true},
+		{"DropRobots drops robots.txt", DropRobots, rec("GET", "/robots.txt", 200), false},
+		{"DropRobots keeps others", DropRobots, rec("GET", "/robots.html", 200), true},
+	}
+	for _, c := range cases {
+		if got := c.f(c.r); got != c.keep {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.keep)
+		}
+	}
+}
+
+func TestDropSuffixes(t *testing.T) {
+	f := DropSuffixes(".XML", ".rss")
+	if f(rec("GET", "/feed.xml", 200)) {
+		t.Error("kept .xml despite case-insensitive suffix")
+	}
+	if f(rec("GET", "/feed.rss?page=2", 200)) {
+		t.Error("kept .rss with query string")
+	}
+	if !f(rec("GET", "/feed.html", 200)) {
+		t.Error("dropped unrelated suffix")
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	from := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	to := from.Add(time.Hour)
+	f := TimeWindow(from, to)
+	in := rec("GET", "/x", 200)
+	in.Time = from.Add(time.Minute)
+	if !f(in) {
+		t.Error("dropped in-window record")
+	}
+	before := in
+	before.Time = from.Add(-time.Second)
+	if f(before) {
+		t.Error("kept record before window")
+	}
+	atEnd := in
+	atEnd.Time = to
+	if f(atEnd) {
+		t.Error("kept record at exclusive end")
+	}
+	open := TimeWindow(time.Time{}, time.Time{})
+	if !open(before) || !open(atEnd) {
+		t.Error("open window dropped records")
+	}
+}
+
+func TestChainAndApply(t *testing.T) {
+	f := Chain(SuccessOnly, MethodGET, DropResources)
+	records := []Record{
+		rec("GET", "/a.html", 200),  // kept
+		rec("GET", "/a.gif", 200),   // resource
+		rec("POST", "/a.html", 200), // method
+		rec("GET", "/a.html", 404),  // status
+		rec("GET", "/index.php", 200) /* kept */}
+	kept, dropped := Apply(records, f)
+	if len(kept) != 2 || dropped != 3 {
+		t.Fatalf("kept %d dropped %d, want 2/3", len(kept), dropped)
+	}
+	if kept[0].URI != "/a.html" || kept[1].URI != "/index.php" {
+		t.Errorf("kept order wrong: %v", kept)
+	}
+}
+
+func TestStandardCleaning(t *testing.T) {
+	f := StandardCleaning()
+	if !f(rec("GET", "/page.html", 200)) {
+		t.Error("standard cleaning dropped a page view")
+	}
+	for _, bad := range []Record{
+		rec("GET", "/x.png", 200),
+		rec("POST", "/form", 200),
+		rec("GET", "/gone.html", 404),
+		rec("GET", "/robots.txt", 200),
+	} {
+		if f(bad) {
+			t.Errorf("standard cleaning kept %q %q %d", bad.Method, bad.URI, bad.Status)
+		}
+	}
+}
+
+func TestDropUserAgentContaining(t *testing.T) {
+	f := DropUserAgentContaining("Bot", "crawler")
+	r := rec("GET", "/x", 200)
+	if !f(r) {
+		t.Error("common-format record dropped")
+	}
+	r.UserAgent = "-"
+	if !f(r) {
+		t.Error("dash user agent dropped")
+	}
+	r.UserAgent = "Mozilla/5.0"
+	if !f(r) {
+		t.Error("browser dropped")
+	}
+	r.UserAgent = "GoogleBOT/2.1"
+	if f(r) {
+		t.Error("bot kept despite case-insensitive match")
+	}
+	r.UserAgent = "sitecrawler/1.0"
+	if f(r) {
+		t.Error("crawler kept")
+	}
+}

@@ -1,0 +1,80 @@
+package clf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord checks the common-format parser never panics and that
+// anything it accepts re-renders to a line it accepts again, unchanged.
+func FuzzParseRecord(f *testing.F) {
+	f.Add(sampleLine)
+	f.Add(`192.168.1.1 - alice [02/Jan/2006:15:04:05 -0500] "POST /login HTTP/1.0" 302 -`)
+	f.Add(`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`)
+	f.Add("")
+	f.Add(`1.2.3.4 - - [bad date] "GET / HTTP/1.1" 200 1`)
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseRecord(rec.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", line, rec.String(), err)
+		}
+		if again.String() != rec.String() {
+			t.Fatalf("rendering not a fixed point: %q vs %q", again.String(), rec.String())
+		}
+	})
+}
+
+// FuzzParseCombinedRecord checks the combined-format parser likewise.
+func FuzzParseCombinedRecord(f *testing.F) {
+	f.Add(sampleLine + ` "/ref.html" "Mozilla/5.0"`)
+	f.Add(sampleLine + ` "-" "-"`)
+	f.Add(sampleLine)
+	f.Add(`"" ""`)
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCombinedRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseCombinedRecord(rec.CombinedString())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected rendering %q: %v", line, rec.CombinedString(), err)
+		}
+		if again.CombinedString() != rec.CombinedString() {
+			t.Fatalf("rendering not a fixed point: %q", again.CombinedString())
+		}
+	})
+}
+
+// FuzzScanner checks that the scanner consumes arbitrary input without
+// panicking and accounts for every non-blank line.
+func FuzzScanner(f *testing.F) {
+	f.Add(sampleLine + "\ngarbage\n\n" + sampleLine)
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		sc := NewScanner(strings.NewReader(input))
+		good := 0
+		for sc.Scan() {
+			good++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("string reader errored: %v", err)
+		}
+		bad, _ := sc.Malformed()
+		nonBlank := 0
+		for _, l := range strings.Split(input, "\n") {
+			if !isBlank(l) {
+				nonBlank++
+			}
+		}
+		if good+bad != nonBlank {
+			t.Fatalf("accounted %d+%d lines of %d", good, bad, nonBlank)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package clf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Scanner streams Records out of a CLF log. Malformed lines do not abort the
+// scan; they are counted and (up to a cap) retained as ParseErrors so the
+// caller can report data-quality issues, which is routine for real access
+// logs.
+//
+// Usage mirrors bufio.Scanner:
+//
+//	sc := clf.NewScanner(r)
+//	for sc.Scan() {
+//	    rec := sc.Record()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	br      *bufio.Scanner
+	rec     Record
+	err     error
+	lineNo  int
+	bad     int
+	badErrs []*ParseError
+}
+
+// maxRetainedErrors caps how many ParseErrors a Scanner keeps; beyond this
+// only the count grows.
+const maxRetainedErrors = 100
+
+// NewScanner returns a Scanner reading CLF lines from r. Lines up to 1 MiB
+// are supported (far above any legal CLF line).
+func NewScanner(r io.Reader) *Scanner {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Scanner{br: br}
+}
+
+// Scan advances to the next well-formed record, skipping malformed and blank
+// lines. It returns false at end of input or on a read error.
+func (s *Scanner) Scan() bool {
+	for s.br.Scan() {
+		s.lineNo++
+		line := s.br.Text()
+		if isBlank(line) {
+			continue
+		}
+		rec, _, err := ParseAnyRecord(line)
+		if err != nil {
+			s.bad++
+			if pe, ok := err.(*ParseError); ok && len(s.badErrs) < maxRetainedErrors {
+				pe.LineNo = s.lineNo
+				s.badErrs = append(s.badErrs, pe)
+			}
+			continue
+		}
+		s.rec = rec
+		return true
+	}
+	s.err = s.br.Err()
+	return false
+}
+
+// Record returns the record produced by the last successful Scan.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Err returns the first read error encountered, or nil. Parse errors are not
+// read errors; see Malformed.
+func (s *Scanner) Err() error { return s.err }
+
+// Malformed returns how many lines failed to parse and (capped) the details.
+func (s *Scanner) Malformed() (count int, details []*ParseError) {
+	return s.bad, s.badErrs
+}
+
+// LinesRead returns the number of input lines consumed so far, blank lines
+// included (so ParseError line numbers match the file).
+func (s *Scanner) LinesRead() int { return s.lineNo }
+
+func isBlank(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAll parses every record in r, skipping malformed lines, and returns
+// the records plus the malformed-line count. It fails only on read errors.
+func ReadAll(r io.Reader) (records []Record, malformed int, err error) {
+	sc := NewScanner(r)
+	for sc.Scan() {
+		records = append(records, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("clf: read: %w", err)
+	}
+	malformed, _ = sc.Malformed()
+	return records, malformed, nil
+}
+
+// Writer emits Records as CLF lines (common format by default).
+type Writer struct {
+	w        *bufio.Writer
+	n        int
+	err      error
+	combined bool
+}
+
+// NewWriter returns a Writer targeting w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// NewCombinedWriter returns a Writer that renders combined-format lines
+// (with "referer" "user-agent" tails).
+func NewCombinedWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), combined: true}
+}
+
+// Write appends one record as a CLF line.
+func (w *Writer) Write(rec Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	line := rec.String()
+	if w.combined {
+		line = rec.CombinedString()
+	}
+	if _, err := w.w.WriteString(line); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffered output and returns the first error seen.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// WriteAll writes all records to w as a CLF log.
+func WriteAll(w io.Writer, records []Record) error {
+	cw := NewWriter(w)
+	for _, rec := range records {
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("clf: write: %w", err)
+		}
+	}
+	return cw.Flush()
+}

@@ -1,0 +1,142 @@
+// Package core is the library's front door: the reactive web usage data
+// processing pipeline the paper describes. It chains the substrates —
+// Common Log Format parsing (internal/clf), data cleaning, user
+// identification (internal/prep), and session reconstruction
+// (internal/heuristics, with Smart-SRA as the default) — behind one
+// configuration and one call:
+//
+//	g, _ := webgraph.Decode(topologyFile)
+//	p, _ := core.NewPipeline(core.Config{Graph: g})
+//	result, _ := p.ProcessLog(logFile)
+//	for _, s := range result.Sessions { ... }
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/heuristics"
+	"smartsra/internal/prep"
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// Config assembles a Pipeline. Graph is required; everything else has
+// production defaults.
+type Config struct {
+	// Graph is the site topology; required (the default heuristic and the
+	// URI resolver both need it).
+	Graph *webgraph.Graph
+	// Heuristic reconstructs sessions; nil means Smart-SRA with the paper's
+	// thresholds.
+	Heuristic heuristics.Reconstructor
+	// Filter cleans records before user identification; nil means
+	// clf.StandardCleaning(). Use clf.KeepAll to disable cleaning.
+	Filter clf.Filter
+	// Key identifies users; nil means prep.ByIP.
+	Key prep.UserKey
+	// Resolver maps URIs to pages; nil means resolving against Graph labels.
+	Resolver prep.Resolver
+}
+
+// Pipeline is an immutable, reusable log-to-sessions processor. It is safe
+// for concurrent use: every stage is a pure function of its input.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates cfg and returns a Pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: Config.Graph is required")
+	}
+	if cfg.Heuristic == nil {
+		cfg.Heuristic = heuristics.NewSmartSRA(cfg.Graph)
+	}
+	if cfg.Filter == nil {
+		cfg.Filter = clf.StandardCleaning()
+	}
+	if cfg.Key == nil {
+		cfg.Key = prep.ByIP
+	}
+	if cfg.Resolver == nil {
+		cfg.Resolver = prep.GraphResolver(cfg.Graph)
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Result is the outcome of processing one log.
+type Result struct {
+	// Sessions are the reconstructed sessions across all users.
+	Sessions []session.Session
+	// Streams are the cleaned per-user request streams the heuristic saw.
+	Streams []session.Stream
+	// Stats describes what happened at each stage.
+	Stats Stats
+}
+
+// Stats counts the pipeline stages' effects.
+type Stats struct {
+	// Records is the number of well-formed CLF records read.
+	Records int
+	// Malformed is the number of unparseable log lines skipped.
+	Malformed int
+	// Filtered is the number of records dropped by cleaning.
+	Filtered int
+	// Unresolved is the number of cleaned records whose URI matched no page.
+	Unresolved int
+	// Users is the number of distinct users identified.
+	Users int
+	// Sessions is the number of reconstructed sessions.
+	Sessions int
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("records=%d malformed=%d filtered=%d unresolved=%d users=%d sessions=%d",
+		s.Records, s.Malformed, s.Filtered, s.Unresolved, s.Users, s.Sessions)
+}
+
+// ProcessLog runs the full pipeline on a CLF log: parse (skipping malformed
+// lines), clean, identify users, order each user's requests, and reconstruct
+// sessions. It fails only on read errors; data-quality issues are counted in
+// Stats.
+func (p *Pipeline) ProcessLog(r io.Reader) (*Result, error) {
+	records, malformed, err := clf.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res, err := p.ProcessRecords(records)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Malformed = malformed
+	return res, nil
+}
+
+// ProcessRecords runs the pipeline on already-parsed records.
+func (p *Pipeline) ProcessRecords(records []clf.Record) (*Result, error) {
+	streams, pstats, err := prep.BuildStreams(records, p.cfg.Resolver, prep.Options{
+		Filter: p.cfg.Filter,
+		Key:    p.cfg.Key,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sessions := heuristics.ReconstructAll(p.cfg.Heuristic, streams)
+	return &Result{
+		Sessions: sessions,
+		Streams:  streams,
+		Stats: Stats{
+			Records:    pstats.Records,
+			Filtered:   pstats.Filtered,
+			Unresolved: pstats.Unresolved,
+			Users:      pstats.Users,
+			Sessions:   len(sessions),
+		},
+	}, nil
+}
+
+// Heuristic returns the reconstructor the pipeline uses.
+func (p *Pipeline) Heuristic() heuristics.Reconstructor { return p.cfg.Heuristic }

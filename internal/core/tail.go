@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/session"
+)
+
+// Tail is the incremental counterpart of Pipeline: it consumes access-log
+// records one at a time (e.g. from a live log tail) and emits reconstructed
+// sessions as soon as they can no longer change.
+//
+// Records are buffered per user into "activity bursts". A user's burst is
+// closed — and handed to the heuristic — when a new record arrives more
+// than the page-stay bound ρ after the burst's last request, or when
+// Expire/Flush decides the user has gone quiet. Because every heuristic's
+// sessions never span a gap larger than ρ (that is the Phase-1 page-stay
+// rule), burst-at-a-time reconstruction is exactly equivalent to batch
+// processing for Smart-SRA and the time-gap heuristic; the time-total and
+// navigation heuristics can merge across >ρ gaps in batch mode, so their
+// streamed output may split earlier (documented, covered by tests).
+//
+// Tail is not safe for concurrent use; wrap it in a mutex if multiple
+// goroutines feed it.
+type Tail struct {
+	cfg     Config
+	rho     time.Duration
+	buffers map[string]*burst
+	stats   Stats
+}
+
+// burst is one user's open request run.
+type burst struct {
+	entries []session.Entry
+	last    time.Time
+}
+
+// NewTail builds a streaming processor from the same Config as NewPipeline
+// plus the burst gap ρ (zero means the paper's 10 minutes).
+func NewTail(cfg Config, rho time.Duration) (*Tail, error) {
+	p, err := NewPipeline(cfg) // reuse validation and defaulting
+	if err != nil {
+		return nil, err
+	}
+	if rho == 0 {
+		rho = session.DefaultPageStay
+	}
+	if rho < 0 {
+		return nil, fmt.Errorf("core: negative burst gap %v", rho)
+	}
+	return &Tail{cfg: p.cfg, rho: rho, buffers: make(map[string]*burst)}, nil
+}
+
+// Push feeds one record, returning any sessions finalized by its arrival
+// (usually none; occasionally the previous burst of the same user).
+// Malformed-record handling belongs to the caller (clf.Scanner skips them).
+func (t *Tail) Push(rec clf.Record) []session.Session {
+	t.stats.Records++
+	if t.cfg.Filter != nil && !t.cfg.Filter(rec) {
+		t.stats.Filtered++
+		return nil
+	}
+	page, ok := t.cfg.Resolver(rec.URI)
+	if !ok {
+		t.stats.Unresolved++
+		return nil
+	}
+	user := t.cfg.Key(rec)
+	b := t.buffers[user]
+	if b == nil {
+		b = &burst{}
+		t.buffers[user] = b
+		t.stats.Users++
+	}
+	var out []session.Session
+	if len(b.entries) > 0 && rec.Time.Sub(b.last) > t.rho {
+		out = t.close(user, b)
+	}
+	b.entries = append(b.entries, session.Entry{Page: page, Time: rec.Time})
+	if rec.Time.After(b.last) {
+		b.last = rec.Time
+	}
+	return out
+}
+
+// Expire finalizes every user whose last request is more than ρ before now,
+// returning their sessions. Call it periodically when tailing a live log so
+// quiet users' sessions are not held forever.
+func (t *Tail) Expire(now time.Time) []session.Session {
+	var users []string
+	for u, b := range t.buffers {
+		if len(b.entries) > 0 && now.Sub(b.last) > t.rho {
+			users = append(users, u)
+		}
+	}
+	sort.Strings(users)
+	var out []session.Session
+	for _, u := range users {
+		out = append(out, t.close(u, t.buffers[u])...)
+	}
+	return out
+}
+
+// Flush finalizes everything buffered, in user order. The Tail remains
+// usable afterwards.
+func (t *Tail) Flush() []session.Session {
+	users := make([]string, 0, len(t.buffers))
+	for u, b := range t.buffers {
+		if len(b.entries) > 0 {
+			users = append(users, u)
+		}
+	}
+	sort.Strings(users)
+	var out []session.Session
+	for _, u := range users {
+		out = append(out, t.close(u, t.buffers[u])...)
+	}
+	return out
+}
+
+// Stats returns the counters accumulated so far. Sessions counts emitted
+// sessions only; buffered requests are not yet sessions.
+func (t *Tail) Stats() Stats { return t.stats }
+
+// close runs the heuristic on a burst and resets it.
+func (t *Tail) close(user string, b *burst) []session.Session {
+	entries := b.entries
+	b.entries = nil
+	// Out-of-order arrivals within the burst (merged proxy logs, clock
+	// skew) are sorted here; cross-burst reordering beyond ρ is a log
+	// defect the caller owns.
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Time.Before(entries[j].Time)
+	})
+	sessions := t.cfg.Heuristic.Reconstruct(session.Stream{User: user, Entries: entries})
+	t.stats.Sessions += len(sessions)
+	return sessions
+}

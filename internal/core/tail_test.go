@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/heuristics"
+	"smartsra/internal/session"
+	"smartsra/internal/simulator"
+	"smartsra/internal/webgraph"
+)
+
+func tailRec(host, uri string, at time.Time) clf.Record {
+	return clf.Record{
+		Host: host, Ident: "-", AuthUser: "-", Time: at,
+		Method: "GET", URI: uri, Protocol: "HTTP/1.1", Status: 200, Bytes: 1,
+	}
+}
+
+func TestTailValidation(t *testing.T) {
+	if _, err := NewTail(Config{}, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g, _ := webgraph.PaperFigure1()
+	if _, err := NewTail(Config{Graph: g}, -time.Second); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestTailEmitsOnGapAndFlush(t *testing.T) {
+	g, _ := webgraph.PaperFigure1()
+	tl, err := NewTail(Config{Graph: g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	if got := tl.Push(tailRec("u", "/P1.html", t0)); len(got) != 0 {
+		t.Errorf("first push emitted %v", got)
+	}
+	if got := tl.Push(tailRec("u", "/P13.html", t0.Add(2*time.Minute))); len(got) != 0 {
+		t.Errorf("in-burst push emitted %v", got)
+	}
+	// 11-minute gap: the previous burst closes and comes back as a session.
+	got := tl.Push(tailRec("u", "/P1.html", t0.Add(13*time.Minute)))
+	if len(got) != 1 || got[0].Len() != 2 {
+		t.Fatalf("gap push emitted %v", got)
+	}
+	if got[0].User != "u" {
+		t.Errorf("user = %q", got[0].User)
+	}
+	rest := tl.Flush()
+	if len(rest) != 1 || rest[0].Len() != 1 {
+		t.Fatalf("flush emitted %v", rest)
+	}
+	// Flush leaves the Tail reusable.
+	if got := tl.Push(tailRec("u", "/P1.html", t0.Add(time.Hour))); len(got) != 0 {
+		t.Errorf("post-flush push emitted %v", got)
+	}
+	st := tl.Stats()
+	if st.Records != 4 || st.Users != 1 || st.Sessions != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTailExpire(t *testing.T) {
+	g, _ := webgraph.PaperFigure1()
+	tl, err := NewTail(Config{Graph: g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	tl.Push(tailRec("a", "/P1.html", t0))
+	tl.Push(tailRec("b", "/P49.html", t0.Add(8*time.Minute)))
+	// At t0+11m only user a is stale.
+	got := tl.Expire(t0.Add(11 * time.Minute))
+	if len(got) != 1 || got[0].User != "a" {
+		t.Fatalf("expire emitted %v", got)
+	}
+	if got := tl.Expire(t0.Add(11 * time.Minute)); len(got) != 0 {
+		t.Errorf("second expire emitted %v", got)
+	}
+	if got := tl.Flush(); len(got) != 1 || got[0].User != "b" {
+		t.Errorf("flush emitted %v", got)
+	}
+}
+
+func TestTailCountsFilteredAndUnresolved(t *testing.T) {
+	g, _ := webgraph.PaperFigure1()
+	tl, err := NewTail(Config{Graph: g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	tl.Push(tailRec("u", "/logo.gif", t0))
+	tl.Push(tailRec("u", "/unknown.html", t0))
+	st := tl.Stats()
+	if st.Filtered != 1 || st.Unresolved != 1 || st.Users != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTailSortsOutOfOrderWithinBurst(t *testing.T) {
+	g, _ := webgraph.PaperFigure1()
+	tl, err := NewTail(Config{Graph: g, Heuristic: heuristics.NewTimeGap()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	tl.Push(tailRec("u", "/P13.html", t0.Add(time.Minute)))
+	tl.Push(tailRec("u", "/P1.html", t0)) // arrives late
+	got := tl.Flush()
+	if len(got) != 1 {
+		t.Fatalf("flush emitted %v", got)
+	}
+	if got[0].Entries[0].Page != mustPage(t, g, "/P1.html") {
+		t.Errorf("out-of-order entries not sorted: %v", got[0])
+	}
+}
+
+func mustPage(t *testing.T, g *webgraph.Graph, uri string) webgraph.PageID {
+	t.Helper()
+	p, ok := g.PageByURI(uri)
+	if !ok {
+		t.Fatalf("no page %q", uri)
+	}
+	return p
+}
+
+// Streamed reconstruction must equal batch reconstruction for Smart-SRA and
+// the time-gap heuristic (their sessions never span a >ρ gap).
+func TestTailEquivalentToBatchForGapBoundedHeuristics(t *testing.T) {
+	g, err := webgraph.GenerateTopology(webgraph.TopologyConfig{
+		Pages: 80, AvgOutDegree: 6, StartPageFraction: 0.1,
+		Model: webgraph.ModelUniform, EnsureReachable: true,
+	}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := simulator.PaperParams()
+	params.Agents = 120
+	sim, err := simulator.Run(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := sim.Log(g)
+
+	for _, build := range []func() heuristics.Reconstructor{
+		func() heuristics.Reconstructor { return heuristics.NewTimeGap() },
+		func() heuristics.Reconstructor { return heuristics.NewSmartSRA(g) },
+	} {
+		h := build()
+		batchPipe, err := NewPipeline(Config{Graph: g, Heuristic: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := batchPipe.ProcessRecords(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := NewTail(Config{Graph: g, Heuristic: h}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []session.Session
+		for _, rec := range records {
+			streamed = append(streamed, tl.Push(rec)...)
+		}
+		streamed = append(streamed, tl.Flush()...)
+
+		if len(streamed) != len(batch.Sessions) {
+			t.Fatalf("%s: streamed %d sessions, batch %d",
+				h.Name(), len(streamed), len(batch.Sessions))
+		}
+		// Compare as per-user multisets (emission order differs).
+		count := make(map[string]int)
+		for _, s := range batch.Sessions {
+			count[s.String()]++
+		}
+		for _, s := range streamed {
+			count[s.String()]--
+		}
+		for k, c := range count {
+			if c != 0 {
+				t.Fatalf("%s: session multiset differs at %q (%+d)", h.Name(), k, c)
+			}
+		}
+	}
+}

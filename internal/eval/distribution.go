@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+
+	"smartsra/internal/session"
+)
+
+// Distribution metrics complement the capture accuracy: a heuristic can
+// score sessions right or wrong one by one, but analytics built on sessions
+// (session-length reports, funnel statistics) care whether the *shape* of
+// the reconstructed session population matches reality. The paper argues
+// qualitatively that navigation-oriented sessions are inflated (§2.2);
+// these metrics quantify that.
+
+// LengthDistribution returns the empirical session-length distribution:
+// out[i] is the fraction of sessions with length i+1, with lengths above
+// maxLen folded into the last bucket. The result sums to 1 (or is nil for
+// no sessions / maxLen < 1).
+func LengthDistribution(sessions []session.Session, maxLen int) []float64 {
+	if maxLen < 1 || len(sessions) == 0 {
+		return nil
+	}
+	out := make([]float64, maxLen)
+	n := 0
+	for _, s := range sessions {
+		l := s.Len()
+		if l == 0 {
+			continue
+		}
+		if l > maxLen {
+			l = maxLen
+		}
+		out[l-1]++
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	return out
+}
+
+// TotalVariation returns the total variation distance between two
+// distributions over the same support: ½·Σ|a[i]−b[i]| ∈ [0, 1]. Shorter
+// slices are zero-padded.
+func TotalVariation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d := av - bv
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 2
+}
+
+// LengthFidelity returns the total variation distance between the
+// session-length distributions of reconstructed and real sessions (0 =
+// identical shape, 1 = disjoint), using length buckets 1..maxLen.
+func LengthFidelity(real, reconstructed []session.Session, maxLen int) (float64, error) {
+	if maxLen < 1 {
+		return 0, fmt.Errorf("eval: maxLen %d below 1", maxLen)
+	}
+	a := LengthDistribution(real, maxLen)
+	b := LengthDistribution(reconstructed, maxLen)
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("eval: empty session set in fidelity comparison")
+	}
+	return TotalVariation(a, b), nil
+}

@@ -1,0 +1,249 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/heuristics"
+	"smartsra/internal/prep"
+	"smartsra/internal/referrer"
+	"smartsra/internal/session"
+	"smartsra/internal/simulator"
+	"smartsra/internal/webgraph"
+)
+
+// HeuristicNames lists the four heuristics in the paper's order.
+var HeuristicNames = []string{"heur1", "heur2", "heur3", "heur4"}
+
+// DefaultHeuristics builds the paper's four contenders over a topology.
+func DefaultHeuristics(g *webgraph.Graph) []heuristics.Reconstructor {
+	return []heuristics.Reconstructor{
+		heuristics.NewTimeTotal(),
+		heuristics.NewTimeGap(),
+		heuristics.NewNavigation(g),
+		heuristics.NewSmartSRA(g),
+	}
+}
+
+// RunConfig describes one evaluation point: a topology, simulation
+// parameters, and how the log reaches the heuristics.
+type RunConfig struct {
+	// Topology configures the random site; zero value means PaperTopology.
+	Topology webgraph.TopologyConfig
+	// TopologySeed seeds topology generation (independent of agent
+	// randomness so sweeps reuse one site, like the paper's fixed web site).
+	TopologySeed int64
+	// Params configures the agent simulator.
+	Params simulator.Params
+	// ViaCLF routes the simulated requests through an actual Common Log
+	// Format encode→parse→clean→identify pipeline instead of handing the
+	// simulator's streams to the heuristics directly. Slower; exercises the
+	// full reactive pipeline end to end.
+	ViaCLF bool
+	// IncludeReferrer additionally evaluates the referrer-chain
+	// reconstruction ("heurR", internal/referrer) over the combined-format
+	// log — the reactive upper bound the paper's common-format setting
+	// cannot reach.
+	IncludeReferrer bool
+	// Heuristics overrides the contenders; nil means DefaultHeuristics.
+	Heuristics func(g *webgraph.Graph) []heuristics.Reconstructor
+}
+
+// PaperDefaults returns the Table 5 evaluation configuration.
+func PaperDefaults() RunConfig {
+	return RunConfig{
+		Topology:     webgraph.PaperTopology(),
+		TopologySeed: 2006,
+		Params:       simulator.PaperParams(),
+	}
+}
+
+// PointResult is the outcome of evaluating all heuristics at one parameter
+// value. Both accuracy readings of §5.1 are reported: Matched (one-to-one,
+// "correctly reconstructed sessions" — the headline metric, see ScoreMatched)
+// and Exists (a real session counts if ANY candidate captures it).
+type PointResult struct {
+	// X is the swept parameter value (a probability in [0,1]).
+	X float64
+	// Matched maps heuristic name to one-to-one accuracy at this point.
+	Matched map[string]Accuracy
+	// Exists maps heuristic name to unconstrained capture accuracy.
+	Exists map[string]Accuracy
+	// Reconstructed maps heuristic name to stats over its session set.
+	Reconstructed map[string]SessionStats
+	// RealSessions is the ground-truth session count at this point.
+	RealSessions int
+}
+
+// EvaluatePoint simulates one run and scores every heuristic on it.
+func EvaluatePoint(cfg RunConfig) (*PointResult, error) {
+	topoCfg := cfg.Topology
+	if topoCfg.Pages == 0 {
+		topoCfg = webgraph.PaperTopology()
+	}
+	g, err := webgraph.GenerateTopology(topoCfg, rand.New(rand.NewSource(cfg.TopologySeed)))
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulator.Run(g, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	streams := res.Streams
+	if cfg.ViaCLF {
+		streams, err = roundTripCLF(g, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	build := cfg.Heuristics
+	if build == nil {
+		build = DefaultHeuristics
+	}
+	point := &PointResult{
+		Matched:       make(map[string]Accuracy),
+		Exists:        make(map[string]Accuracy),
+		Reconstructed: make(map[string]SessionStats),
+		RealSessions:  len(res.Real),
+	}
+	for _, h := range build(g) {
+		candidates := heuristics.ReconstructAll(h, streams)
+		point.Matched[h.Name()] = ScoreMatched(res.Real, candidates)
+		point.Exists[h.Name()] = Score(res.Real, candidates)
+		point.Reconstructed[h.Name()] = Summarize(candidates)
+	}
+	if cfg.IncludeReferrer {
+		r := referrer.New(g)
+		chain, err := r.Reconstruct(res.LogCombined(g))
+		if err != nil {
+			return nil, err
+		}
+		point.Matched[r.Name()] = ScoreMatched(res.Real, chain)
+		point.Exists[r.Name()] = Score(res.Real, chain)
+		point.Reconstructed[r.Name()] = Summarize(chain)
+	}
+	return point, nil
+}
+
+// SeriesNames returns the heuristic names present in the point, in report
+// order: the paper's four, then the optional referrer upper bound.
+func (p *PointResult) SeriesNames() []string {
+	names := append([]string(nil), HeuristicNames...)
+	if _, ok := p.Matched["heurR"]; ok {
+		names = append(names, "heurR")
+	}
+	return names
+}
+
+// roundTripCLF renders the run as a CLF log and rebuilds the streams through
+// the full parsing/cleaning pipeline, as a production deployment would.
+func roundTripCLF(g *webgraph.Graph, res *simulator.Result) ([]session.Stream, error) {
+	records := res.Log(g)
+	// Render to text and parse back so the format itself is exercised.
+	reparsed := make([]clf.Record, 0, len(records))
+	for _, r := range records {
+		rec, err := clf.ParseRecord(r.String())
+		if err != nil {
+			return nil, fmt.Errorf("eval: round trip: %w", err)
+		}
+		reparsed = append(reparsed, rec)
+	}
+	streams, _, err := prep.BuildStreams(reparsed, prep.GraphResolver(g), prep.Options{
+		Filter: clf.StandardCleaning(),
+	})
+	return streams, err
+}
+
+// Experiment is a one-dimensional parameter sweep, as in Figures 8-10.
+type Experiment struct {
+	// Name identifies the experiment ("figure8", ...).
+	Name string
+	// Title is the paper's caption-style description.
+	Title string
+	// Variable is the swept parameter: "STP", "LPP", or "NIP".
+	Variable string
+	// Values are the probabilities to sweep, in order.
+	Values []float64
+	// Base is the configuration applied at every point before the swept
+	// variable is overridden.
+	Base RunConfig
+}
+
+// Figure8 sweeps STP from 1% to 20% with LPP and NIP fixed at Table 5's
+// values (paper Figure 8).
+func Figure8(base RunConfig) Experiment {
+	values := make([]float64, 0, 20)
+	for pct := 1; pct <= 20; pct++ {
+		values = append(values, float64(pct)/100)
+	}
+	return Experiment{
+		Name:     "figure8",
+		Title:    "Real accuracy vs STP (LPP=30%, NIP=30%)",
+		Variable: "STP",
+		Values:   values,
+		Base:     base,
+	}
+}
+
+// Figure9 sweeps LPP from 0% to 90% (paper Figure 9).
+func Figure9(base RunConfig) Experiment {
+	values := make([]float64, 0, 10)
+	for pct := 0; pct <= 90; pct += 10 {
+		values = append(values, float64(pct)/100)
+	}
+	return Experiment{
+		Name:     "figure9",
+		Title:    "Real accuracy vs LPP (STP=5%, NIP=30%)",
+		Variable: "LPP",
+		Values:   values,
+		Base:     base,
+	}
+}
+
+// Figure10 sweeps NIP from 0% to 90% (paper Figure 10).
+func Figure10(base RunConfig) Experiment {
+	values := make([]float64, 0, 10)
+	for pct := 0; pct <= 90; pct += 10 {
+		values = append(values, float64(pct)/100)
+	}
+	return Experiment{
+		Name:     "figure10",
+		Title:    "Real accuracy vs NIP (STP=5%, LPP=30%)",
+		Variable: "NIP",
+		Values:   values,
+		Base:     base,
+	}
+}
+
+// SweepResult is an executed Experiment.
+type SweepResult struct {
+	Experiment Experiment
+	Points     []PointResult
+}
+
+// Run executes the sweep sequentially (each point already parallelizes
+// across agents internally).
+func (e Experiment) Run() (*SweepResult, error) {
+	out := &SweepResult{Experiment: e}
+	for _, v := range e.Values {
+		cfg := e.Base
+		switch e.Variable {
+		case "STP":
+			cfg.Params.STP = v
+		case "LPP":
+			cfg.Params.LPP = v
+		case "NIP":
+			cfg.Params.NIP = v
+		default:
+			return nil, fmt.Errorf("eval: unknown sweep variable %q", e.Variable)
+		}
+		point, err := EvaluatePoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s at %s=%.2f: %w", e.Name, e.Variable, v, err)
+		}
+		point.X = v
+		out.Points = append(out.Points, *point)
+	}
+	return out, nil
+}

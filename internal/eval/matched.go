@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"smartsra/internal/session"
+)
+
+// ScoreMatched computes accuracy under one-to-one matching: each
+// reconstructed session may be credited for at most one real session
+// (maximum bipartite matching between real sessions and the candidates that
+// capture them, computed exactly with the Hungarian augmenting-path method).
+//
+// Rationale: §5.2's curves are inconsistent with the unconstrained
+// exists-a-capturer reading of §5.1. Under that reading a navigation-
+// oriented session is a superset of the corresponding time-gap session
+// (insertions only ever occur at hyperlink discontinuities, which cannot
+// fall inside a real session), so heur3 would weakly dominate heur2 and
+// both would sit far above the paper's reported 25-35% — our simulator
+// measures 65-93% for all four heuristics under that metric. Reading
+// "the ratio of correctly reconstructed sessions" as a one-to-one
+// correspondence — a reconstructed session is "correct" when it captures a
+// real session, and a heuristic that merges five real sessions into one
+// candidate has reconstructed one session, not five — yields exactly the
+// paper's ordering and levels. See DESIGN.md and EXPERIMENTS.md; Score keeps
+// the literal unconstrained metric for comparison.
+func ScoreMatched(real, candidates []session.Session) Accuracy {
+	type userData struct {
+		realIdx []int
+		cands   []session.Session
+	}
+	users := make(map[string]*userData)
+	for i, r := range real {
+		u := users[r.User]
+		if u == nil {
+			u = &userData{}
+			users[r.User] = u
+		}
+		u.realIdx = append(u.realIdx, i)
+	}
+	for _, h := range candidates {
+		if u := users[h.User]; u != nil {
+			u.cands = append(u.cands, h)
+		}
+	}
+	acc := Accuracy{Real: len(real)}
+	for _, u := range users {
+		acc.Captured += matchUser(real, u.realIdx, u.cands)
+	}
+	return acc
+}
+
+// matchUser computes the maximum matching size between one user's real
+// sessions and the candidates capturing them. Per-user problem sizes are
+// tiny (tens of sessions), so the O(V·E) augmenting-path algorithm is more
+// than fast enough.
+func matchUser(real []session.Session, realIdx []int, cands []session.Session) int {
+	if len(cands) == 0 || len(realIdx) == 0 {
+		return 0
+	}
+	// adj[i] lists candidate indices capturing real session realIdx[i].
+	adj := make([][]int, len(realIdx))
+	for i, ri := range realIdx {
+		for j := range cands {
+			if session.Captures(cands[j], real[ri]) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	matchCand := make([]int, len(cands)) // candidate -> real (or -1)
+	for j := range matchCand {
+		matchCand[j] = -1
+	}
+	var tryAssign func(i int, seen []bool) bool
+	tryAssign = func(i int, seen []bool) bool {
+		for _, j := range adj[i] {
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchCand[j] < 0 || tryAssign(matchCand[j], seen) {
+				matchCand[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for i := range adj {
+		seen := make([]bool, len(cands))
+		if tryAssign(i, seen) {
+			matched++
+		}
+	}
+	return matched
+}

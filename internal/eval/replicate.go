@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"smartsra/internal/stats"
+)
+
+// ReplicateResult holds per-heuristic accuracy statistics across replicated
+// runs of the same configuration with different simulation seeds (the
+// topology stays fixed, as the paper fixes its web site across agents).
+type ReplicateResult struct {
+	// Seeds are the simulation seeds used, in order.
+	Seeds []int64
+	// Matched maps heuristic name to the summary of matched-accuracy
+	// percentages across seeds.
+	Matched map[string]stats.Summary
+	// Exists maps heuristic name to the summary of exists-accuracy
+	// percentages.
+	Exists map[string]stats.Summary
+}
+
+// Replicate runs EvaluatePoint once per seed and summarizes the spread. At
+// least one seed is required.
+func Replicate(cfg RunConfig, seeds []int64) (*ReplicateResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("eval: no seeds to replicate over")
+	}
+	matched := make(map[string][]float64)
+	exists := make(map[string][]float64)
+	for _, seed := range seeds {
+		c := cfg
+		c.Params.Seed = seed
+		point, err := EvaluatePoint(c)
+		if err != nil {
+			return nil, fmt.Errorf("eval: replicate seed %d: %w", seed, err)
+		}
+		for _, h := range HeuristicNames {
+			matched[h] = append(matched[h], point.Matched[h].Percent())
+			exists[h] = append(exists[h], point.Exists[h].Percent())
+		}
+	}
+	out := &ReplicateResult{
+		Seeds:   append([]int64(nil), seeds...),
+		Matched: make(map[string]stats.Summary),
+		Exists:  make(map[string]stats.Summary),
+	}
+	for _, h := range HeuristicNames {
+		out.Matched[h] = stats.Summarize(matched[h])
+		out.Exists[h] = stats.Summarize(exists[h])
+	}
+	return out, nil
+}
+
+// WriteTable renders the replication as mean ± 95% CI per heuristic.
+func (r *ReplicateResult) WriteTable(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "replicated over %d seeds — accuracy %% mean ± 95%% CI\n", len(r.Seeds))
+	fmt.Fprintf(&sb, "%-8s %-22s %s\n", "", "matched", "exists")
+	for _, h := range HeuristicNames {
+		m, e := r.Matched[h], r.Exists[h]
+		fmt.Fprintf(&sb, "%-8s %6.2f ± %-13.2f %6.2f ± %.2f\n",
+			h, m.Mean, m.CI95(), e.Mean, e.CI95())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

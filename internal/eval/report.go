@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"smartsra/internal/plot"
+)
+
+// WriteTable renders the sweep as an aligned text table, one row per swept
+// value and one column per heuristic — the same series the paper's figures
+// plot. The one-to-one (matched) accuracy is the headline number; the
+// unconstrained exists-capture accuracy follows in parentheses.
+func (r *SweepResult) WriteTable(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.Experiment.Name, r.Experiment.Title)
+	fmt.Fprintf(&sb, "accuracy %% as matched (exists)\n")
+	fmt.Fprintf(&sb, "%-8s", r.Experiment.Variable+"%")
+	series := r.seriesNames()
+	for _, h := range series {
+		fmt.Fprintf(&sb, "%16s", h)
+	}
+	sb.WriteString("   real-sessions\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%-8.0f", p.X*100)
+		for _, h := range series {
+			cell := fmt.Sprintf("%.1f (%.1f)", p.Matched[h].Percent(), p.Exists[h].Percent())
+			fmt.Fprintf(&sb, "%16s", cell)
+		}
+		fmt.Fprintf(&sb, "   %d\n", p.RealSessions)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the sweep as CSV with a header row, for plotting. Both
+// metrics are emitted per heuristic (<name>_matched, <name>_exists).
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(r.Experiment.Variable))
+	series := r.seriesNames()
+	for _, h := range series {
+		sb.WriteString("," + h + "_matched," + h + "_exists")
+	}
+	sb.WriteString(",real_sessions\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%.2f", p.X)
+		for _, h := range series {
+			fmt.Fprintf(&sb, ",%.4f,%.4f", p.Matched[h].Value(), p.Exists[h].Value())
+		}
+		fmt.Fprintf(&sb, ",%d\n", p.RealSessions)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSessionStats renders per-heuristic session-shape statistics for the
+// sweep, documenting e.g. the navigation-oriented heuristic's session
+// inflation (§2.2).
+func (r *SweepResult) WriteSessionStats(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — reconstructed session shapes\n", r.Experiment.Name)
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%s=%.0f%%:\n", r.Experiment.Variable, p.X*100)
+		for _, h := range p.SeriesNames() {
+			fmt.Fprintf(&sb, "  %-7s %s\n", h, p.Reconstructed[h])
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSVG renders the sweep as a line chart in the style of the paper's
+// figures: swept probability (percent) on x, matched accuracy (percent) on
+// y, one series per heuristic.
+func (r *SweepResult) WriteSVG(w io.Writer) error {
+	chart := plot.Chart{
+		Title:  r.Experiment.Title,
+		XLabel: r.Experiment.Variable + " (%)",
+		YLabel: "real accuracy (%, matched)",
+		YMin:   0,
+		YMax:   100,
+	}
+	for _, h := range r.seriesNames() {
+		s := plot.Series{Name: h}
+		for _, p := range r.Points {
+			s.X = append(s.X, p.X*100)
+			s.Y = append(s.Y, p.Matched[h].Percent())
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.WriteSVG(w)
+}
+
+// seriesNames returns the series present across the sweep (from the first
+// point; all points share a configuration).
+func (r *SweepResult) seriesNames() []string {
+	if len(r.Points) == 0 {
+		return HeuristicNames
+	}
+	return r.Points[0].SeriesNames()
+}
+
+// ShapeReport captures the paper's qualitative claims about a sweep so they
+// can be asserted programmatically (see CheckShape). All fields are computed
+// on the matched (headline) metric.
+type ShapeReport struct {
+	// SmartSRAAlwaysBest is true when heur4 has the highest accuracy at
+	// every point.
+	SmartSRAAlwaysBest bool
+	// SmartSRAAlwaysBeatsTime is true when heur4 beats both time-oriented
+	// heuristics at every point.
+	SmartSRAAlwaysBeatsTime bool
+	// MinRelativeMargin is the minimum over points of
+	// heur4 / max(heur1..heur3) − 1 (Smart-SRA's relative win; negative when
+	// another heuristic wins a point).
+	MinRelativeMargin float64
+	// MonotoneDecline is true when every heuristic's accuracy at the last
+	// point is below its accuracy at the first point (the paper's LPP/NIP
+	// claim; not expected for the STP sweep).
+	MonotoneDecline bool
+}
+
+// CheckShape computes the qualitative shape of the sweep.
+func (r *SweepResult) CheckShape() ShapeReport {
+	if len(r.Points) == 0 {
+		return ShapeReport{}
+	}
+	rep := ShapeReport{
+		SmartSRAAlwaysBest:      true,
+		SmartSRAAlwaysBeatsTime: true,
+		MinRelativeMargin:       1e9,
+	}
+	for _, p := range r.Points {
+		best := 0.0
+		for _, h := range HeuristicNames[:3] {
+			if v := p.Matched[h].Value(); v > best {
+				best = v
+			}
+		}
+		bestTime := p.Matched["heur1"].Value()
+		if v := p.Matched["heur2"].Value(); v > bestTime {
+			bestTime = v
+		}
+		v4 := p.Matched["heur4"].Value()
+		if v4 <= best {
+			rep.SmartSRAAlwaysBest = false
+		}
+		if v4 <= bestTime {
+			rep.SmartSRAAlwaysBeatsTime = false
+		}
+		margin := 1e9
+		if best > 0 {
+			margin = v4/best - 1
+		}
+		if margin < rep.MinRelativeMargin {
+			rep.MinRelativeMargin = margin
+		}
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	rep.MonotoneDecline = true
+	for _, h := range HeuristicNames {
+		if last.Matched[h].Value() >= first.Matched[h].Value() {
+			rep.MonotoneDecline = false
+		}
+	}
+	return rep
+}

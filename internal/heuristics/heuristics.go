@@ -1,0 +1,41 @@
+// Package heuristics implements the four reactive session reconstruction
+// strategies the paper evaluates:
+//
+//	heur1  time-oriented, total session duration ≤ δ (TimeTotal)
+//	heur2  time-oriented, page-stay time ≤ ρ       (TimeGap)
+//	heur3  navigation-oriented with path completion (Navigation)
+//	heur4  Smart-SRA, the paper's contribution      (SmartSRA)
+//
+// All four consume a per-user request Stream (timestamp order) and emit the
+// reconstructed sessions for that user. They are pure functions of their
+// input and configuration, safe for concurrent use.
+package heuristics
+
+import (
+	"smartsra/internal/session"
+)
+
+// Reconstructor is a session reconstruction heuristic.
+type Reconstructor interface {
+	// Name returns a short stable identifier ("heur1" ... "heur4") used in
+	// reports; see also Describe.
+	Name() string
+	// Reconstruct splits one user's request stream into sessions. The input
+	// must be in non-decreasing timestamp order (prep.BuildStreams
+	// guarantees this). Implementations never retain or modify the input.
+	Reconstruct(stream session.Stream) []session.Session
+}
+
+// Describer is implemented by heuristics that can explain themselves.
+type Describer interface {
+	Describe() string
+}
+
+// ReconstructAll applies h to every stream and concatenates the results.
+func ReconstructAll(h Reconstructor, streams []session.Stream) []session.Session {
+	var out []session.Session
+	for _, st := range streams {
+		out = append(out, h.Reconstruct(st)...)
+	}
+	return out
+}

@@ -1,0 +1,591 @@
+package heuristics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+func TestNamesAndDescriptions(t *testing.T) {
+	g, _ := webgraph.PaperFigure1()
+	hs := []Reconstructor{NewTimeTotal(), NewTimeGap(), NewNavigation(g), NewSmartSRA(g)}
+	wantNames := []string{"heur1", "heur2", "heur3", "heur4"}
+	for i, h := range hs {
+		if h.Name() != wantNames[i] {
+			t.Errorf("heuristic %d Name = %q, want %q", i, h.Name(), wantNames[i])
+		}
+		d, ok := h.(Describer)
+		if !ok || d.Describe() == "" {
+			t.Errorf("%s has no description", h.Name())
+		}
+	}
+	if !strings.Contains(NewSmartSRA(g).Describe(), "drop") {
+		t.Error("Smart-SRA description missing orphan policy")
+	}
+	if OrphanNewSession.String() != "new-session" || OrphanPolicy(9).String() == "" {
+		t.Error("OrphanPolicy.String wrong")
+	}
+}
+
+func TestEmptyAndSingletonStreams(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	hs := []Reconstructor{NewTimeTotal(), NewTimeGap(), NewNavigation(g), NewSmartSRA(g)}
+	for _, h := range hs {
+		if got := h.Reconstruct(session.Stream{User: "u"}); len(got) != 0 {
+			t.Errorf("%s on empty stream: %v", h.Name(), got)
+		}
+		one := figStream(ids, "P1", 0)
+		got := h.Reconstruct(one)
+		if len(got) != 1 || got[0].Len() != 1 || got[0].Entries[0].Page != ids["P1"] {
+			t.Errorf("%s on singleton stream: %v", h.Name(), got)
+		}
+		if got[0].User != "agent" {
+			t.Errorf("%s lost user attribution: %q", h.Name(), got[0].User)
+		}
+	}
+}
+
+func TestTimeTotalBoundaryInclusive(t *testing.T) {
+	_, ids := webgraph.PaperFigure1()
+	// Exactly δ from the first page: still the same session (ti - t0 ≤ δ).
+	st := figStream(ids, "P1", 0, "P20", 30)
+	got := NewTimeTotal().Reconstruct(st)
+	if len(got) != 1 {
+		t.Errorf("30-minute-span stream split: %v", got)
+	}
+	st2 := figStream(ids, "P1", 0, "P20", 31)
+	if got := NewTimeTotal().Reconstruct(st2); len(got) != 2 {
+		t.Errorf("31-minute-span stream not split: %v", got)
+	}
+}
+
+func TestTimeGapBoundaryInclusive(t *testing.T) {
+	_, ids := webgraph.PaperFigure1()
+	st := figStream(ids, "P1", 0, "P20", 10)
+	if got := NewTimeGap().Reconstruct(st); len(got) != 1 {
+		t.Errorf("10-minute gap split: %v", got)
+	}
+	st2 := figStream(ids, "P1", 0, "P20", 11)
+	if got := NewTimeGap().Reconstruct(st2); len(got) != 2 {
+		t.Errorf("11-minute gap not split: %v", got)
+	}
+}
+
+func TestTimeTotalRestartsWindowAtNewSession(t *testing.T) {
+	_, ids := webgraph.PaperFigure1()
+	// 0, 31 (split), 45: the 45 entry is within 30 of 31, so joins session 2.
+	st := figStream(ids, "P1", 0, "P20", 31, "P13", 45)
+	got := NewTimeTotal().Reconstruct(st)
+	if len(got) != 2 || got[1].Len() != 2 {
+		t.Errorf("window not restarted: %v", got)
+	}
+}
+
+func TestNavigationClosesSessionWhenUnreachable(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	// P49's only in-link is from P13; from [P20] nothing reaches P49.
+	st := figStream(ids, "P20", 0, "P49", 2)
+	got := names(ids, NewNavigation(g).Reconstruct(st))
+	if len(got) != 2 || !eqSeq(got[0], []string{"P20"}) || !eqSeq(got[1], []string{"P49"}) {
+		t.Errorf("navigation did not close unreachable session: %v", got)
+	}
+}
+
+func TestNavigationBacktracksMultipleSteps(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	// [P1, P13, P34]; next P20 is linked only from P1 (index 0): backward
+	// movements P13, P1 are inserted.
+	st := figStream(ids, "P1", 0, "P13", 2, "P34", 4, "P20", 6)
+	got := names(ids, NewNavigation(g).Reconstruct(st))
+	want := []string{"P1", "P13", "P34", "P13", "P1", "P20"}
+	if len(got) != 1 || !eqSeq(got[0], want) {
+		t.Errorf("multi-step backtrack = %v, want %v", got, want)
+	}
+}
+
+func TestNavigationPairsAreForwardOrBackwardEdges(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	st := figStream(ids, "P1", 0, "P13", 1, "P49", 2, "P34", 3, "P20", 4, "P23", 5)
+	for _, s := range NewNavigation(g).Reconstruct(st) {
+		for i := 1; i < len(s.Entries); i++ {
+			a, b := s.Entries[i-1].Page, s.Entries[i].Page
+			if !g.HasEdge(a, b) && !g.HasEdge(b, a) {
+				t.Errorf("pair %d (%d,%d) is neither a forward nor backward edge",
+					i, a, b)
+			}
+		}
+	}
+	_ = ids
+}
+
+func TestSmartSRATimeOrphanBecomesSingleton(t *testing.T) {
+	// Candidate [A@0, B@5, C@9, O@14] with edges A->B, B->C, A->O.
+	// O's only referrer A is 14 minutes old (> ρ), so the referrer does not
+	// count (Step I applies the page-stay bound) and O is a start page of
+	// the very first wave: it becomes its own session rather than being
+	// appended to A's or dropped.
+	b := webgraph.NewBuilder(4)
+	for _, e := range [][2]webgraph.PageID{{0, 1}, {1, 2}, {0, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	st := session.Stream{User: "u", Entries: []session.Entry{
+		{Page: 0, Time: t0},
+		{Page: 1, Time: t0.Add(5 * time.Minute)},
+		{Page: 2, Time: t0.Add(9 * time.Minute)},
+		{Page: 3, Time: t0.Add(14 * time.Minute)},
+	}}
+	got := NewSmartSRA(g).Reconstruct(st)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want [0 1 2] and [3]", got)
+	}
+	foundChain, foundSingleton := false, false
+	for _, s := range got {
+		if s.Len() == 3 && s.Entries[0].Page == 0 && s.Entries[2].Page == 2 {
+			foundChain = true
+		}
+		if s.Len() == 1 && s.Entries[0].Page == 3 {
+			foundSingleton = true
+		}
+	}
+	if !foundChain || !foundSingleton {
+		t.Errorf("got %v, want [0 1 2] and [3]", got)
+	}
+}
+
+// Property: the two orphan policies produce identical output. Because Step I
+// and Step III apply the same (link, strict time order, ρ) predicate, the
+// last-removed referrer of any page always leaves behind a session ending in
+// itself, so no page can fail to attach: the pseudocode's implicit drop case
+// is unreachable. This test pins down that non-obvious invariant.
+func TestSmartSRAOrphanPoliciesEquivalentProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	drop := NewSmartSRA(g)
+	keep := NewSmartSRA(g)
+	keep.Orphans = OrphanNewSession
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStream(g, rng, int(size)%80)
+		a, b := drop.Reconstruct(st), keep.Reconstruct(st)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmartSRAPhase1Splits(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	h := NewSmartSRA(g)
+	// An 11-minute gap forces a Phase-1 split even though P13->P49 is an edge.
+	st := figStream(ids, "P1", 0, "P13", 5, "P49", 17)
+	got := names(ids, h.Reconstruct(st))
+	if !containsSeq(got, []string{"P1", "P13"}) || !containsSeq(got, []string{"P49"}) {
+		t.Errorf("page-stay split missing: %v", got)
+	}
+	// Total-duration split: increments of 9 minutes stay under ρ but pass δ.
+	st2 := figStream(ids, "P1", 0, "P13", 9, "P49", 18, "P23", 27, "P23", 36)
+	got2 := NewSmartSRA(g).Reconstruct(st2)
+	for _, s := range got2 {
+		if s.Duration() > h.Rules.TotalDuration {
+			t.Errorf("session exceeds δ: %v", s)
+		}
+	}
+}
+
+func TestSmartSRAAblationFlags(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	// 11-minute gap between linked pages.
+	st := figStream(ids, "P1", 0, "P13", 11)
+
+	noGap := NewSmartSRA(g)
+	noGap.DisablePageStay = true
+	got := noGap.Reconstruct(st)
+	// Phase 1 keeps them together, but Phase 2's ρ check still refuses the
+	// 11-minute extension, so they end up as separate sessions.
+	if len(got) != 2 {
+		t.Errorf("DisablePageStay: got %v", got)
+	}
+
+	skip := NewSmartSRA(g)
+	skip.SkipPhase1 = true
+	st2 := figStream(ids, "P1", 0, "P13", 50)
+	got2 := skip.Reconstruct(st2)
+	if len(got2) != 2 {
+		t.Errorf("SkipPhase1 with distant pages: got %v", got2)
+	}
+
+	noTotal := NewSmartSRA(g)
+	noTotal.DisableTotalDuration = true
+	st3 := figStream(ids, "P1", 0, "P13", 9, "P49", 18, "P23", 27, "P23", 36)
+	for _, s := range noTotal.Reconstruct(st3) {
+		if !s.SatisfiesTimestampOrdering(noTotal.Rules) {
+			t.Errorf("DisableTotalDuration broke ordering rule: %v", s)
+		}
+	}
+}
+
+func TestSmartSRADuplicateTimestampsDoNotChain(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	// Two requests with identical timestamps: the Timestamp Ordering Rule
+	// requires strictly increasing times, so P13 cannot extend P1's session.
+	st := figStream(ids, "P1", 0, "P13", 0)
+	got := NewSmartSRA(g).Reconstruct(st)
+	if len(got) != 2 {
+		t.Errorf("equal-timestamp pages chained: %v", got)
+	}
+	for _, s := range got {
+		if !s.SatisfiesTimestampOrdering(session.DefaultRules()) {
+			t.Errorf("output violates ordering rule: %v", s)
+		}
+	}
+}
+
+func TestReconstructAll(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	streams := []session.Stream{table1(ids), table3(ids)}
+	got := ReconstructAll(NewSmartSRA(g), streams)
+	if len(got) < 4 {
+		t.Errorf("ReconstructAll produced %d sessions", len(got))
+	}
+	if got := ReconstructAll(NewTimeGap(), nil); len(got) != 0 {
+		t.Errorf("ReconstructAll(nil streams) = %v", got)
+	}
+}
+
+// randomStream builds a pseudo-random request stream over g: mostly
+// link-following with occasional jumps, gaps, and duplicate timestamps, to
+// stress the heuristics far from the happy path.
+func randomStream(g *webgraph.Graph, rng *rand.Rand, n int) session.Stream {
+	st := session.Stream{User: "fuzz"}
+	now := t0
+	cur := webgraph.PageID(rng.Intn(g.NumPages()))
+	for i := 0; i < n; i++ {
+		st.Entries = append(st.Entries, session.Entry{Page: cur, Time: now})
+		switch rng.Intn(10) {
+		case 0: // jump anywhere
+			cur = webgraph.PageID(rng.Intn(g.NumPages()))
+		case 1: // repeat with identical timestamp
+			continue
+		default:
+			succ := g.Succ(cur)
+			if len(succ) == 0 {
+				cur = webgraph.PageID(rng.Intn(g.NumPages()))
+			} else {
+				cur = succ[rng.Intn(len(succ))]
+			}
+		}
+		// Gaps: usually small, sometimes past ρ or δ.
+		switch rng.Intn(12) {
+		case 0:
+			now = now.Add(12 * time.Minute)
+		case 1:
+			now = now.Add(40 * time.Minute)
+		default:
+			now = now.Add(time.Duration(1+rng.Intn(5)) * time.Minute)
+		}
+	}
+	return st
+}
+
+func fuzzGraph(t testing.TB) *webgraph.Graph {
+	t.Helper()
+	g, err := webgraph.GenerateTopology(webgraph.TopologyConfig{
+		Pages: 60, AvgOutDegree: 4, StartPageFraction: 0.1,
+		Model: webgraph.ModelUniform, EnsureReachable: true,
+	}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Property: Smart-SRA output always satisfies all three session rules.
+func TestSmartSRAOutputsAlwaysValidProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	h := NewSmartSRA(g)
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStream(g, rng, int(size)%80)
+		for _, s := range h.Reconstruct(st) {
+			if !s.Valid(g, h.Rules) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Smart-SRA output contains no session subsumed by another
+// (maximality, §3 "only maximal sequences are kept").
+func TestSmartSRAMaximalityProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	h := NewSmartSRA(g)
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStream(g, rng, int(size)%60)
+		out := h.Reconstruct(st)
+		return len(session.MaximalOnly(out)) == len(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the time heuristics partition the input: concatenating their
+// output sessions reproduces the stream exactly.
+func TestTimeHeuristicsPartitionProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	for _, h := range []Reconstructor{NewTimeTotal(), NewTimeGap()} {
+		f := func(seed int64, size uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			st := randomStream(g, rng, int(size)%80)
+			var rebuilt []session.Entry
+			for _, s := range h.Reconstruct(st) {
+				rebuilt = append(rebuilt, s.Entries...)
+			}
+			if len(rebuilt) != len(st.Entries) {
+				return false
+			}
+			for i := range rebuilt {
+				if rebuilt[i] != st.Entries[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+}
+
+// Property: navigation-oriented output preserves the input requests in
+// order once inserted backward movements are removed, and every output pair
+// is either a forward or a backward hyperlink.
+func TestNavigationPreservesInputProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	h := NewNavigation(g)
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStream(g, rng, int(size)%60)
+		var all []session.Entry
+		for _, s := range h.Reconstruct(st) {
+			for i := 1; i < len(s.Entries); i++ {
+				a, b := s.Entries[i-1].Page, s.Entries[i].Page
+				if !g.HasEdge(a, b) && !g.HasEdge(b, a) {
+					return false
+				}
+			}
+			all = append(all, s.Entries...)
+		}
+		// Original entries appear as a subsequence (by page and time).
+		j := 0
+		for _, e := range all {
+			if j < len(st.Entries) && e == st.Entries[j] {
+				j++
+			}
+		}
+		return j == len(st.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all heuristics are deterministic.
+func TestHeuristicsDeterministicProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	hs := []Reconstructor{NewTimeTotal(), NewTimeGap(), NewNavigation(g), NewSmartSRA(g)}
+	rng := rand.New(rand.NewSource(21))
+	st := randomStream(g, rng, 50)
+	for _, h := range hs {
+		a := h.Reconstruct(st)
+		b := h.Reconstruct(st)
+		if len(a) != len(b) {
+			t.Errorf("%s nondeterministic session count", h.Name())
+			continue
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("%s nondeterministic session %d", h.Name(), i)
+			}
+		}
+	}
+}
+
+// Property: heuristics do not modify their input stream.
+func TestHeuristicsDoNotMutateInput(t *testing.T) {
+	g := fuzzGraph(t)
+	rng := rand.New(rand.NewSource(31))
+	st := randomStream(g, rng, 40)
+	snapshot := append([]session.Entry(nil), st.Entries...)
+	for _, h := range []Reconstructor{NewTimeTotal(), NewTimeGap(), NewNavigation(g), NewSmartSRA(g)} {
+		_ = h.Reconstruct(st)
+		for i := range snapshot {
+			if st.Entries[i] != snapshot[i] {
+				t.Fatalf("%s mutated input at %d", h.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSmartSRAInferBacktracks(t *testing.T) {
+	// Stream [B@0, C@2, X@4] with edges B->C and B->X only. The user really
+	// backtracked from C to B (cache) before fetching X, so the real second
+	// session is [B, X]. Plain Smart-SRA attaches X nowhere useful once C
+	// extended [B]; with InferBacktracks the inferred [B, X] session appears.
+	b := webgraph.NewBuilder(3)
+	for _, e := range [][2]webgraph.PageID{{0, 1}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	st := session.Stream{User: "u", Entries: []session.Entry{
+		{Page: 0, Time: t0},
+		{Page: 1, Time: t0.Add(2 * time.Minute)},
+		{Page: 2, Time: t0.Add(4 * time.Minute)},
+	}}
+
+	plain := NewSmartSRA(g)
+	gotPlain := plain.Reconstruct(st)
+	// Plain Smart-SRA: wave 1 {B}, wave 2 {C, X} both extend [B]: the
+	// sessions [B,C] and [B,X] already both exist here (same-wave fan-out),
+	// so use a harder case below for the difference; first confirm the
+	// fan-out baseline.
+	if len(gotPlain) != 2 {
+		t.Fatalf("baseline fan-out: %v", gotPlain)
+	}
+
+	// Harder: [B@0, C@2, D@4, X@6], edges B->C, C->D, B->X. X's wave comes
+	// after C extended [B] (wave 2) and D extended [B,C] (wave 3)... X is a
+	// wave-2 page too (its only referrer B is removed in wave 1). Push X to
+	// a later wave by giving it referrer D as well: edges B->X, D->X is not
+	// what we want (D would anchor it). Instead make X arrive with B out of
+	// every session *end*: B@0, C@2, X@12 with ρ=10: B->X gap 12 > ρ, so no
+	// wave ever anchors X to B — and InferBacktracks (which applies the same
+	// ρ rule) must NOT invent it either.
+	st2 := session.Stream{User: "u", Entries: []session.Entry{
+		{Page: 0, Time: t0},
+		{Page: 1, Time: t0.Add(2 * time.Minute)},
+		{Page: 2, Time: t0.Add(12 * time.Minute)},
+	}}
+	infer := NewSmartSRA(g)
+	infer.InferBacktracks = true
+	got2 := infer.Reconstruct(st2)
+	for _, s := range got2 {
+		if !s.Valid(g, infer.Rules) {
+			t.Errorf("inferred session violates rules: %v", s)
+		}
+		if s.Len() == 2 && s.Entries[0].Page == 0 && s.Entries[1].Page == 2 {
+			t.Errorf("inferred backtrack ignored the ρ rule: %v", got2)
+		}
+	}
+}
+
+func TestSmartSRAInferBacktracksRecoversInterleavedSession(t *testing.T) {
+	// Pages A,B,C,E (0,1,2,3) with edges A->B, B->C, A->E, C->E. Stream
+	// [A@0, B@2, C@4, E@6]: E stays out of the early waves because its
+	// referrer C is still alive, so by E's wave the only session is
+	// [A, B, C] and E anchors to C — the candidate [A,B,C,E] does not
+	// contain [A, E] contiguously. The real user backtracked to A through
+	// the cache before fetching E, so the ground-truth second session is
+	// [A, E]; only backtrack inference recovers it.
+	b := webgraph.NewBuilder(4)
+	for _, e := range [][2]webgraph.PageID{{0, 1}, {1, 2}, {0, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	st := session.Stream{User: "u", Entries: []session.Entry{
+		{Page: 0, Time: t0},
+		{Page: 1, Time: t0.Add(2 * time.Minute)},
+		{Page: 2, Time: t0.Add(4 * time.Minute)},
+		{Page: 3, Time: t0.Add(6 * time.Minute)},
+	}}
+	want := session.Session{User: "u", Entries: []session.Entry{
+		{Page: 0, Time: t0}, {Page: 3, Time: t0.Add(6 * time.Minute)},
+	}}
+
+	plain := NewSmartSRA(g)
+	if session.CapturedByAny(plain.Reconstruct(st), want) {
+		t.Fatal("plain Smart-SRA unexpectedly captured [A E]; test premise broken")
+	}
+	infer := NewSmartSRA(g)
+	infer.InferBacktracks = true
+	got := infer.Reconstruct(st)
+	if !session.CapturedByAny(got, want) {
+		t.Errorf("InferBacktracks did not recover [A E]: %v", got)
+	}
+	for _, s := range got {
+		if !s.Valid(g, infer.Rules) {
+			t.Errorf("session violates rules: %v", s)
+		}
+	}
+	if got := infer.Describe(); !strings.Contains(got, "infer-backtracks") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+// Property: InferBacktracks preserves validity and maximality and never
+// reduces the set of captured page pairs.
+func TestSmartSRAInferBacktracksValidityProperty(t *testing.T) {
+	g := fuzzGraph(t)
+	infer := NewSmartSRA(g)
+	infer.InferBacktracks = true
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStream(g, rng, int(size)%60)
+		out := infer.Reconstruct(st)
+		for _, s := range out {
+			if !s.Valid(g, infer.Rules) {
+				return false
+			}
+		}
+		return len(session.MaximalOnly(out)) == len(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNavigationMaxGap(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	// P1 -> P13 linked but 25 minutes apart.
+	st := figStream(ids, "P1", 0, "P13", 25)
+	plain := NewNavigation(g)
+	if got := plain.Reconstruct(st); len(got) != 1 {
+		t.Errorf("paper configuration split on time: %v", got)
+	}
+	limited := NewNavigation(g)
+	limited.MaxGap = 10 * time.Minute
+	got := limited.Reconstruct(st)
+	if len(got) != 2 {
+		t.Errorf("MaxGap=10m did not split: %v", got)
+	}
+	// Within the gap, behavior is unchanged.
+	st2 := figStream(ids, "P1", 0, "P13", 5)
+	if got := limited.Reconstruct(st2); len(got) != 1 || got[0].Len() != 2 {
+		t.Errorf("MaxGap split a tight session: %v", got)
+	}
+}

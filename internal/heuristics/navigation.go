@@ -1,0 +1,100 @@
+package heuristics
+
+import (
+	"time"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// Navigation is the navigation-oriented heuristic (heur3, §2.2 after Cooley
+// et al.): a new page may join the current session if some earlier page of
+// the session links to it. When the most recent page does not link to the
+// new page, the user is assumed to have moved back through the browser cache
+// to the nearest (largest-timestamp) session page that does link to it, and
+// those artificial backward movements are inserted into the session ("path
+// completion"). When no session page links to the new page, the session is
+// closed and a new one starts.
+//
+// The paper applies no time limit to this heuristic and discusses the
+// resulting unbounded session growth as one of its weaknesses.
+type Navigation struct {
+	// Graph is the site topology consulted for hyperlinks.
+	Graph *webgraph.Graph
+	// MaxGap, when positive, closes the session whenever consecutive
+	// requests are further apart than this — the time limitation §2.2 notes
+	// the plain heuristic lacks ("it is possible to obtain very long
+	// sessions"). Zero (the paper's configuration) disables it.
+	MaxGap time.Duration
+}
+
+// NewNavigation returns heur3 over the given topology, without a time
+// limit, as the paper evaluates it.
+func NewNavigation(g *webgraph.Graph) Navigation { return Navigation{Graph: g} }
+
+// Name implements Reconstructor.
+func (Navigation) Name() string { return "heur3" }
+
+// Describe implements Describer.
+func (Navigation) Describe() string {
+	return "navigation-oriented with backward path completion"
+}
+
+// Reconstruct implements Reconstructor.
+//
+// Inserted backward movements carry interpolated timestamps strictly between
+// the surrounding real requests, so that output sessions remain in
+// non-decreasing time order; the paper's pseudocode does not assign them
+// times (they are served from the browser cache and never hit the server).
+func (h Navigation) Reconstruct(stream session.Stream) []session.Session {
+	var out []session.Session
+	var cur []session.Entry
+	for _, e := range stream.Entries {
+		if len(cur) == 0 {
+			cur = append(cur, e)
+			continue
+		}
+		last := cur[len(cur)-1]
+		if h.MaxGap > 0 && e.Time.Sub(last.Time) > h.MaxGap {
+			out = append(out, session.Session{User: stream.User, Entries: cur})
+			cur = []session.Entry{e}
+			continue
+		}
+		if h.Graph.HasEdge(last.Page, e.Page) {
+			cur = append(cur, e)
+			continue
+		}
+		// Find WPKmax: the session page with the largest timestamp (i.e.
+		// nearest position scanning backwards) that links to the new page.
+		k := -1
+		for i := len(cur) - 2; i >= 0; i-- {
+			if h.Graph.HasEdge(cur[i].Page, e.Page) {
+				k = i
+				break
+			}
+		}
+		if k < 0 {
+			// Nothing in the session reaches the new page: close and restart.
+			out = append(out, session.Session{User: stream.User, Entries: cur})
+			cur = []session.Entry{e}
+			continue
+		}
+		// Insert backward movements WPN-1, WPN-2, ..., WPKmax, then the new
+		// page (§2.2). Timestamps interpolate across (last.Time, e.Time).
+		steps := len(cur) - 1 - k // number of inserted entries
+		span := e.Time.Sub(last.Time)
+		orig := len(cur)
+		for i := orig - 2; i >= k; i-- {
+			s := orig - 1 - i // 1-based insertion count
+			cur = append(cur, session.Entry{
+				Page: cur[i].Page,
+				Time: last.Time.Add(span * time.Duration(s) / time.Duration(steps+1)),
+			})
+		}
+		cur = append(cur, e)
+	}
+	if len(cur) > 0 {
+		out = append(out, session.Session{User: stream.User, Entries: cur})
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package heuristics
+
+import (
+	"fmt"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// OrphanPolicy decides what Smart-SRA's second phase does with a page whose
+// every referrer has already been consumed into the interior of the
+// constructed sessions, so that no session's *last* element links to it.
+type OrphanPolicy int
+
+const (
+	// OrphanDrop discards such pages — the literal behaviour of the paper's
+	// Figure 2 pseudocode (a page that extends nothing is simply not added
+	// to the temporary session set). This is the default.
+	OrphanDrop OrphanPolicy = iota
+	// OrphanNewSession starts a fresh single-page session for such pages, a
+	// natural extension the paper does not specify; exposed for the ablation
+	// bench (see DESIGN.md).
+	OrphanNewSession
+)
+
+// String names the policy for reports.
+func (p OrphanPolicy) String() string {
+	switch p {
+	case OrphanDrop:
+		return "drop"
+	case OrphanNewSession:
+		return "new-session"
+	default:
+		return fmt.Sprintf("OrphanPolicy(%d)", int(p))
+	}
+}
+
+// SmartSRA is the paper's Smart Session Reconstruction Algorithm (heur4,
+// §3). Phase 1 splits the user's request stream into candidate sessions
+// using BOTH time-oriented criteria (total duration δ and page-stay ρ).
+// Phase 2 partitions each candidate into maximal sessions that satisfy both
+// the Timestamp Ordering Rule and the Topology Rule, by repeatedly peeling
+// off the pages that have no remaining referrer and appending them to every
+// constructed session whose last page links to them.
+//
+// Unlike the navigation-oriented heuristic, Smart-SRA never inserts
+// artificial backward movements, so its sessions are short, strictly
+// forward, and every consecutive pair is hyperlink-connected.
+type SmartSRA struct {
+	// Graph is the site topology.
+	Graph *webgraph.Graph
+	// Rules holds δ (TotalDuration) and ρ (PageStay).
+	Rules session.Rules
+	// Orphans selects the treatment of unattachable pages; see OrphanPolicy.
+	Orphans OrphanPolicy
+	// SkipPhase1 disables the time-based pre-splitting (ablation only; the
+	// whole stream becomes one candidate, though ρ still gates Phase 2
+	// referrer/extension checks).
+	SkipPhase1 bool
+	// DisableTotalDuration drops the δ rule from Phase 1 (ablation only).
+	DisableTotalDuration bool
+	// DisablePageStay drops the ρ rule from Phase 1 (ablation only; ρ still
+	// gates Phase 2 checks).
+	DisablePageStay bool
+	// InferBacktracks enables the "intelligent path completion" the paper's
+	// conclusion calls for as future work: when a page e enters a wave, a
+	// fresh two-page session [B, e] is opened for every already-consumed
+	// referrer B of e (hyperlink B→e, B earlier, within ρ). This models the
+	// user having moved back to B through the browser cache before
+	// requesting e — the LPP behavior whose sessions plain Smart-SRA misses
+	// whenever B is no longer the last element of any constructed session.
+	// Sessions it opens still satisfy both session rules; subsumed ones are
+	// pruned by the maximality pass.
+	InferBacktracks bool
+}
+
+// NewSmartSRA returns heur4 over g with the paper's default thresholds
+// (δ = 30 min, ρ = 10 min) and the literal-pseudocode orphan policy.
+func NewSmartSRA(g *webgraph.Graph) SmartSRA {
+	return SmartSRA{Graph: g, Rules: session.DefaultRules()}
+}
+
+// Name implements Reconstructor.
+func (SmartSRA) Name() string { return "heur4" }
+
+// Describe implements Describer.
+func (h SmartSRA) Describe() string {
+	extra := ""
+	if h.InferBacktracks {
+		extra = ", infer-backtracks"
+	}
+	return fmt.Sprintf("Smart-SRA (δ=%v, ρ=%v, orphans=%v%s)",
+		h.Rules.TotalDuration, h.Rules.PageStay, h.Orphans, extra)
+}
+
+// Reconstruct implements Reconstructor.
+func (h SmartSRA) Reconstruct(stream session.Stream) []session.Session {
+	var out []session.Session
+	for _, cand := range h.phase1(stream.Entries) {
+		sessions := h.phase2(cand)
+		for _, entries := range sessions {
+			out = append(out, session.Session{User: stream.User, Entries: entries})
+		}
+	}
+	// The algorithm keeps only maximal sequences; enforce it globally per
+	// stream so no output session is subsumed by another (also drops exact
+	// duplicates that can arise from separate extension paths).
+	return session.MaximalOnly(out)
+}
+
+// phase1 splits a request sequence into candidate sessions using the two
+// time-oriented criteria (§3, Phase 1).
+func (h SmartSRA) phase1(entries []session.Entry) [][]session.Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	if h.SkipPhase1 {
+		return [][]session.Entry{entries}
+	}
+	var out [][]session.Entry
+	var cur []session.Entry
+	for _, e := range entries {
+		if len(cur) > 0 {
+			gapBreak := !h.DisablePageStay &&
+				e.Time.Sub(cur[len(cur)-1].Time) > h.Rules.PageStay
+			totalBreak := !h.DisableTotalDuration &&
+				e.Time.Sub(cur[0].Time) > h.Rules.TotalDuration
+			if gapBreak || totalBreak {
+				out = append(out, cur)
+				cur = nil
+			}
+		}
+		cur = append(cur, e)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// phase2 runs the paper's Figure 2 procedure on one candidate session,
+// returning the constructed topology-valid sessions.
+func (h SmartSRA) phase2(cand []session.Entry) [][]session.Entry {
+	var newSet [][]session.Entry
+	remaining := append([]session.Entry(nil), cand...)
+	var removed []session.Entry // entries consumed by earlier waves
+	for len(remaining) > 0 {
+		// Step I: collect pages with no remaining referrer — no EARLIER
+		// entry (strictly smaller timestamp, within ρ) links to them. See
+		// DESIGN.md for the j>i / j<i pseudocode typo note; this reading
+		// matches the paper's worked example (Table 4).
+		wave := make([]bool, len(remaining))
+		for i, e := range remaining {
+			start := true
+			for j := 0; j < i; j++ {
+				r := remaining[j]
+				if r.Time.Before(e.Time) &&
+					e.Time.Sub(r.Time) <= h.Rules.PageStay &&
+					h.Graph.HasEdge(r.Page, e.Page) {
+					start = false
+					break
+				}
+			}
+			wave[i] = start
+		}
+		var tpages []session.Entry
+		var rest []session.Entry
+		for i, e := range remaining {
+			if wave[i] {
+				tpages = append(tpages, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		// The earliest remaining entry always qualifies, so progress is
+		// guaranteed.
+		remaining = rest // Step II
+
+		// Step III: extend the constructed sessions.
+		if len(newSet) == 0 {
+			newSet = append(newSet, h.inferredBacktracks(tpages, removed)...)
+			for _, e := range tpages {
+				newSet = append(newSet, []session.Entry{e})
+			}
+			removed = append(removed, tpages...)
+			continue
+		}
+		var tset [][]session.Entry
+		extended := make([]bool, len(newSet))
+		for _, e := range tpages {
+			attached := false
+			for k, sess := range newSet {
+				last := sess[len(sess)-1]
+				if last.Time.Before(e.Time) &&
+					e.Time.Sub(last.Time) <= h.Rules.PageStay &&
+					h.Graph.HasEdge(last.Page, e.Page) {
+					ext := make([]session.Entry, len(sess)+1)
+					copy(ext, sess)
+					ext[len(sess)] = e
+					tset = append(tset, ext)
+					extended[k] = true
+					attached = true
+				}
+			}
+			if !attached && h.Orphans == OrphanNewSession {
+				tset = append(tset, []session.Entry{e})
+			}
+		}
+		tset = append(tset, h.inferredBacktracks(tpages, removed)...)
+		for k, sess := range newSet {
+			if !extended[k] {
+				tset = append(tset, sess)
+			}
+		}
+		newSet = tset
+		removed = append(removed, tpages...)
+	}
+	return newSet
+}
+
+// inferredBacktracks opens [B, e] sessions for every consumed referrer B of
+// each wave page e (see InferBacktracks). Referrers still inside the
+// candidate cannot qualify: e would not be in the wave then.
+func (h SmartSRA) inferredBacktracks(tpages, removed []session.Entry) [][]session.Entry {
+	if !h.InferBacktracks {
+		return nil
+	}
+	var out [][]session.Entry
+	for _, e := range tpages {
+		for _, b := range removed {
+			if b.Time.Before(e.Time) &&
+				e.Time.Sub(b.Time) <= h.Rules.PageStay &&
+				h.Graph.HasEdge(b.Page, e.Page) {
+				out = append(out, []session.Entry{b, e})
+			}
+		}
+	}
+	return out
+}

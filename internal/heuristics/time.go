@@ -1,0 +1,85 @@
+package heuristics
+
+import (
+	"fmt"
+	"time"
+
+	"smartsra/internal/session"
+)
+
+// TimeTotal is the paper's first time-oriented heuristic (heur1): a session
+// may not last longer than Delta. A request at time t joins the current
+// session iff t - t0 ≤ Delta, where t0 is the session's first request;
+// otherwise it starts a new session (§2.1).
+type TimeTotal struct {
+	// Delta is the session-duration upper bound δ; 30 minutes in the paper.
+	Delta time.Duration
+}
+
+// NewTimeTotal returns heur1 with the paper's default δ = 30 minutes.
+func NewTimeTotal() TimeTotal { return TimeTotal{Delta: session.DefaultTotalDuration} }
+
+// Name implements Reconstructor.
+func (TimeTotal) Name() string { return "heur1" }
+
+// Describe implements Describer.
+func (h TimeTotal) Describe() string {
+	return fmt.Sprintf("time-oriented (total session duration ≤ %v)", h.Delta)
+}
+
+// Reconstruct implements Reconstructor.
+func (h TimeTotal) Reconstruct(stream session.Stream) []session.Session {
+	var out []session.Session
+	var cur []session.Entry
+	var first time.Time
+	for _, e := range stream.Entries {
+		if len(cur) > 0 && e.Time.Sub(first) > h.Delta {
+			out = append(out, session.Session{User: stream.User, Entries: cur})
+			cur = nil
+		}
+		if len(cur) == 0 {
+			first = e.Time
+		}
+		cur = append(cur, e)
+	}
+	if len(cur) > 0 {
+		out = append(out, session.Session{User: stream.User, Entries: cur})
+	}
+	return out
+}
+
+// TimeGap is the paper's second time-oriented heuristic (heur2): the time
+// spent on any page is bounded by Rho. A request at time t joins the current
+// session iff t - t_prev ≤ Rho; otherwise it starts a new session (§2.1).
+type TimeGap struct {
+	// Rho is the page-stay upper bound ρ; 10 minutes in the paper.
+	Rho time.Duration
+}
+
+// NewTimeGap returns heur2 with the paper's default ρ = 10 minutes.
+func NewTimeGap() TimeGap { return TimeGap{Rho: session.DefaultPageStay} }
+
+// Name implements Reconstructor.
+func (TimeGap) Name() string { return "heur2" }
+
+// Describe implements Describer.
+func (h TimeGap) Describe() string {
+	return fmt.Sprintf("time-oriented (page-stay time ≤ %v)", h.Rho)
+}
+
+// Reconstruct implements Reconstructor.
+func (h TimeGap) Reconstruct(stream session.Stream) []session.Session {
+	var out []session.Session
+	var cur []session.Entry
+	for _, e := range stream.Entries {
+		if len(cur) > 0 && e.Time.Sub(cur[len(cur)-1].Time) > h.Rho {
+			out = append(out, session.Session{User: stream.User, Entries: cur})
+			cur = nil
+		}
+		cur = append(cur, e)
+	}
+	if len(cur) > 0 {
+		out = append(out, session.Session{User: stream.User, Entries: cur})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package mining
+
+import "smartsra/internal/webgraph"
+
+// FilterMaximal keeps only maximal patterns: a pattern is dropped when some
+// other frequent pattern in the set strictly contains it (under the given
+// containment semantics). Maximal patterns are the standard compact
+// representation of a frequent-pattern set — the apriori output contains
+// every frequent prefix, which is mostly redundant for reporting.
+func FilterMaximal(patterns []Pattern, c Containment) []Pattern {
+	out := make([]Pattern, 0, len(patterns))
+	for i, p := range patterns {
+		maximal := true
+		for j, q := range patterns {
+			if i == j || len(q.Pages) <= len(p.Pages) {
+				continue
+			}
+			if contains(q.Pages, p.Pages, c) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TopK returns the k highest-support patterns of at least minLen pages,
+// preserving the Mine output order (support desc, length asc).
+func TopK(patterns []Pattern, k, minLen int) []Pattern {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Pattern, 0, k)
+	for _, p := range patterns {
+		if len(p.Pages) < minLen {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Support looks up the support of an exact page sequence in a mined pattern
+// set, returning 0 when the pattern is not frequent.
+func Support(patterns []Pattern, pages []webgraph.PageID) int {
+	for _, p := range patterns {
+		if len(p.Pages) != len(pages) {
+			continue
+		}
+		same := true
+		for i := range pages {
+			if p.Pages[i] != pages[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return p.Support
+		}
+	}
+	return 0
+}

@@ -1,0 +1,276 @@
+// Package mining implements the pattern-discovery stage of web usage mining
+// that session reconstruction feeds (the paper, §1: "discovering useful
+// patterns from these sessions by using pattern discovery techniques like
+// apriori"). It provides apriori-style sequential pattern mining over page
+// sessions: frequent navigation paths and the association rules they imply.
+//
+// Two containment semantics are supported, mirroring internal/session:
+// contiguous (a pattern must appear as an uninterrupted run — navigation
+// paths) and subsequence (gaps allowed — visit patterns).
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// Containment selects how pattern support is counted.
+type Containment int
+
+const (
+	// Contiguous counts a session as supporting a pattern only when the
+	// pattern occurs as an uninterrupted run (a navigation path).
+	Contiguous Containment = iota
+	// Subsequence counts order-preserving occurrences with gaps.
+	Subsequence
+)
+
+// String names the containment for reports.
+func (c Containment) String() string {
+	switch c {
+	case Contiguous:
+		return "contiguous"
+	case Subsequence:
+		return "subsequence"
+	default:
+		return fmt.Sprintf("Containment(%d)", int(c))
+	}
+}
+
+// Pattern is a frequent page sequence with its support.
+type Pattern struct {
+	// Pages is the page sequence.
+	Pages []webgraph.PageID
+	// Support is the number of sessions containing the pattern.
+	Support int
+}
+
+// String renders the pattern compactly, e.g. "[3 14 15] x42".
+func (p Pattern) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, pg := range p.Pages {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", pg)
+	}
+	fmt.Fprintf(&sb, "] x%d", p.Support)
+	return sb.String()
+}
+
+// Config parameterizes Mine.
+type Config struct {
+	// MinSupport is the minimum number of supporting sessions for a pattern
+	// to be frequent. Must be at least 1.
+	MinSupport int
+	// MaxLength caps pattern length; 0 means unlimited.
+	MaxLength int
+	// Containment selects the support semantics.
+	Containment Containment
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MinSupport < 1 {
+		return fmt.Errorf("mining: min support %d below 1", c.MinSupport)
+	}
+	if c.MaxLength < 0 {
+		return fmt.Errorf("mining: negative max length %d", c.MaxLength)
+	}
+	if c.Containment != Contiguous && c.Containment != Subsequence {
+		return fmt.Errorf("mining: unknown containment %d", c.Containment)
+	}
+	return nil
+}
+
+// Mine returns all frequent patterns in the sessions under cfg, using
+// apriori-style level-wise candidate generation: frequent length-k patterns
+// are extended by frequent single pages, and support is counted against the
+// sessions. Patterns are returned sorted by descending support, then by
+// ascending length, then lexicographically — a stable, report-friendly order.
+func Mine(sessions []session.Session, cfg Config) ([]Pattern, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seqs := make([][]webgraph.PageID, 0, len(sessions))
+	for _, s := range sessions {
+		if s.Len() > 0 {
+			seqs = append(seqs, s.Pages())
+		}
+	}
+
+	// Level 1: frequent single pages.
+	counts := make(map[webgraph.PageID]int)
+	for _, seq := range seqs {
+		seen := make(map[webgraph.PageID]bool, len(seq))
+		for _, p := range seq {
+			if !seen[p] {
+				seen[p] = true
+				counts[p]++
+			}
+		}
+	}
+	var frequentPages []webgraph.PageID
+	var out []Pattern
+	for p, c := range counts {
+		if c >= cfg.MinSupport {
+			frequentPages = append(frequentPages, p)
+			out = append(out, Pattern{Pages: []webgraph.PageID{p}, Support: c})
+		}
+	}
+	sort.Slice(frequentPages, func(i, j int) bool { return frequentPages[i] < frequentPages[j] })
+
+	// Level k+1: extend each frequent pattern by each frequent page. The
+	// apriori property (any prefix of a frequent pattern is frequent) makes
+	// prefix extension complete for both containment semantics.
+	level := make([][]webgraph.PageID, 0, len(frequentPages))
+	for _, p := range out {
+		level = append(level, p.Pages)
+	}
+	for k := 2; len(level) > 0 && (cfg.MaxLength == 0 || k <= cfg.MaxLength); k++ {
+		var next [][]webgraph.PageID
+		for _, base := range level {
+			for _, ext := range frequentPages {
+				cand := append(append(make([]webgraph.PageID, 0, len(base)+1), base...), ext)
+				support := 0
+				for _, seq := range seqs {
+					if contains(seq, cand, cfg.Containment) {
+						support++
+					}
+				}
+				if support >= cfg.MinSupport {
+					out = append(out, Pattern{Pages: cand, Support: support})
+					next = append(next, cand)
+				}
+			}
+		}
+		level = next
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Pages) != len(b.Pages) {
+			return len(a.Pages) < len(b.Pages)
+		}
+		for x := range a.Pages {
+			if a.Pages[x] != b.Pages[x] {
+				return a.Pages[x] < b.Pages[x]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+func contains(seq, pattern []webgraph.PageID, c Containment) bool {
+	if c == Subsequence {
+		return session.IsSubsequence(seq, pattern)
+	}
+	if len(pattern) > len(seq) {
+		return false
+	}
+outer:
+	for i := 0; i+len(pattern) <= len(seq); i++ {
+		for j, p := range pattern {
+			if seq[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Rule is a navigation association rule A => B: sessions that follow path A
+// continue with page B with the given confidence.
+type Rule struct {
+	// Antecedent is the path A.
+	Antecedent []webgraph.PageID
+	// Consequent is the next page B.
+	Consequent webgraph.PageID
+	// Support is the support of A·B.
+	Support int
+	// Confidence is support(A·B) / support(A).
+	Confidence float64
+}
+
+// String renders the rule, e.g. "[3 14] => 15 (conf 0.82, sup 42)".
+func (r Rule) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, pg := range r.Antecedent {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", pg)
+	}
+	fmt.Fprintf(&sb, "] => %d (conf %.2f, sup %d)", r.Consequent, r.Confidence, r.Support)
+	return sb.String()
+}
+
+// Rules derives association rules from mined patterns: for every frequent
+// pattern A·B of length ≥ 2 whose prefix A is also frequent, it emits
+// A => B when the confidence reaches minConfidence. Rules are sorted by
+// descending confidence, then descending support.
+func Rules(patterns []Pattern, minConfidence float64) []Rule {
+	support := make(map[string]int, len(patterns))
+	for _, p := range patterns {
+		support[key(p.Pages)] = p.Support
+	}
+	var out []Rule
+	for _, p := range patterns {
+		if len(p.Pages) < 2 {
+			continue
+		}
+		prefix := p.Pages[:len(p.Pages)-1]
+		base, ok := support[key(prefix)]
+		if !ok || base == 0 {
+			continue
+		}
+		conf := float64(p.Support) / float64(base)
+		if conf >= minConfidence {
+			out = append(out, Rule{
+				Antecedent: append([]webgraph.PageID(nil), prefix...),
+				Consequent: p.Pages[len(p.Pages)-1],
+				Support:    p.Support,
+				Confidence: conf,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		// Deterministic tail order: shorter antecedents first, then pages.
+		if len(a.Antecedent) != len(b.Antecedent) {
+			return len(a.Antecedent) < len(b.Antecedent)
+		}
+		for i := range a.Antecedent {
+			if a.Antecedent[i] != b.Antecedent[i] {
+				return a.Antecedent[i] < b.Antecedent[i]
+			}
+		}
+		return a.Consequent < b.Consequent
+	})
+	return out
+}
+
+func key(pages []webgraph.PageID) string {
+	var sb strings.Builder
+	for _, p := range pages {
+		fmt.Fprintf(&sb, "%d,", p)
+	}
+	return sb.String()
+}

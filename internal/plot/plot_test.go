@@ -1,0 +1,144 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func chartOf(series ...Series) *Chart {
+	return &Chart{Title: "t", XLabel: "x", YLabel: "y", Series: series}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	c := chartOf(
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 2}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 3}},
+	)
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		">a</text>", ">b</text>", // legend entries
+		">t</text>", ">x</text>", ">y</text>", // title and axis labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("markers = %d", got)
+	}
+}
+
+func TestWriteSVGValidation(t *testing.T) {
+	if err := (&Chart{}).WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := chartOf(Series{Name: "a", X: []float64{1}, Y: []float64{1, 2}})
+	if err := bad.WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	empty := chartOf(Series{Name: "a"})
+	if err := empty.WriteSVG(&strings.Builder{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestWriteSVGDeterministic(t *testing.T) {
+	c := chartOf(Series{Name: "a", X: []float64{0, 5, 10}, Y: []float64{3, 1, 7}})
+	var a, b strings.Builder
+	if err := c.WriteSVG(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestWriteSVGEscapesText(t *testing.T) {
+	c := chartOf(Series{Name: `<evil> & "quoted"`, X: []float64{0, 1}, Y: []float64{0, 1}})
+	c.Title = "a < b"
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "<evil>") {
+		t.Error("unescaped markup in output")
+	}
+	if !strings.Contains(out, "&lt;evil&gt;") || !strings.Contains(out, "a &lt; b") {
+		t.Error("escaping missing")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Constant series: the implicit y-padding must avoid a zero-height range.
+	c := chartOf(Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}})
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+		t.Error("degenerate range produced NaN/Inf coordinates")
+	}
+	// Pinned y-range.
+	c.YMin, c.YMax = 0, 100
+	sb.Reset()
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ">100</text>") {
+		t.Errorf("pinned y max tick missing")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 100, 6)
+	if len(got) < 3 {
+		t.Fatalf("ticks = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	if got[0] < 0 || got[len(got)-1] > 100+1e-9 {
+		t.Errorf("ticks out of range: %v", got)
+	}
+	if got := ticks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.9, 1}, {1.2, 2}, {3.7, 5}, {7, 10}, {12, 20}, {0.03, 0.05},
+	}
+	for _, c := range cases {
+		if got := niceStep(c.in); math.Abs(got-c.want) > c.want*1e-9 {
+			t.Errorf("niceStep(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(10) != "10" {
+		t.Errorf("formatTick(10) = %q", formatTick(10))
+	}
+	if formatTick(0.5) != "0.5" {
+		t.Errorf("formatTick(0.5) = %q", formatTick(0.5))
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Errorf("formatTick(0.25) = %q", formatTick(0.25))
+	}
+}

@@ -1,0 +1,37 @@
+package predict_test
+
+import (
+	"fmt"
+	"time"
+
+	"smartsra/internal/predict"
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// ExampleModel_TopK trains a next-page predictor and queries it with a
+// navigation context it never saw verbatim (backoff to shorter contexts).
+func ExampleModel_TopK() {
+	t0 := time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+	mk := func(pages ...webgraph.PageID) session.Session {
+		s := session.Session{User: "u"}
+		for i, p := range pages {
+			s.Entries = append(s.Entries, session.Entry{
+				Page: p, Time: t0.Add(time.Duration(i) * time.Minute),
+			})
+		}
+		return s
+	}
+	model, err := predict.Train([]session.Session{
+		mk(1, 2, 3), mk(1, 2, 3), mk(1, 2, 4),
+	}, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(model.TopK([]webgraph.PageID{1, 2}, 2)) // seen context
+	fmt.Println(model.TopK([]webgraph.PageID{9, 2}, 1)) // backoff to [2]
+	// Output:
+	// [3 4]
+	// [3]
+}

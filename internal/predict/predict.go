@@ -1,0 +1,171 @@
+// Package predict implements next-page prediction — the web pre-fetching /
+// link-prediction application the paper's introduction motivates for
+// session data. A variable-order Markov model is trained on sessions; at
+// serving time it predicts the most likely next pages from the user's
+// recent navigation context, backing off to shorter contexts when the long
+// one was never observed.
+//
+// Because the model trains on *sessions*, its quality depends directly on
+// how well those sessions were reconstructed: training on Smart-SRA output
+// approaches training on ground truth, while time-oriented sessions blur
+// unrelated navigations together. BenchmarkApplicationPrefetch quantifies
+// exactly that.
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// Model is a trained next-page predictor. Models are immutable after Train
+// and safe for concurrent use.
+type Model struct {
+	order  int
+	counts []map[string]map[webgraph.PageID]int // counts[k]: context of length k+1 -> next -> n
+	unigr  map[webgraph.PageID]int              // next-page counts with empty context
+	total  int
+}
+
+// Train builds a model of the given maximum order (context length) from
+// sessions. Order must be at least 1; contexts of every length 1..order are
+// learned so prediction can back off.
+func Train(sessions []session.Session, order int) (*Model, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("predict: order %d below 1", order)
+	}
+	m := &Model{
+		order:  order,
+		counts: make([]map[string]map[webgraph.PageID]int, order),
+		unigr:  make(map[webgraph.PageID]int),
+	}
+	for k := range m.counts {
+		m.counts[k] = make(map[string]map[webgraph.PageID]int)
+	}
+	for _, s := range sessions {
+		pages := s.Pages()
+		for i := 1; i < len(pages); i++ {
+			next := pages[i]
+			m.unigr[next]++
+			m.total++
+			for k := 1; k <= order && k <= i; k++ {
+				key := ctxKey(pages[i-k : i])
+				tbl := m.counts[k-1][key]
+				if tbl == nil {
+					tbl = make(map[webgraph.PageID]int)
+					m.counts[k-1][key] = tbl
+				}
+				tbl[next]++
+			}
+		}
+	}
+	return m, nil
+}
+
+// Order returns the model's maximum context length.
+func (m *Model) Order() int { return m.order }
+
+// Observations returns the number of transitions trained on.
+func (m *Model) Observations() int { return m.total }
+
+// TopK returns up to k predicted next pages for the given navigation
+// context, most likely first. It uses the longest trained context that
+// matches a suffix of ctx, backing off to shorter ones, and finally to the
+// global next-page distribution. Ties break on ascending page ID so results
+// are deterministic.
+func (m *Model) TopK(ctx []webgraph.PageID, k int) []webgraph.PageID {
+	if k < 1 {
+		return nil
+	}
+	for length := min(m.order, len(ctx)); length >= 1; length-- {
+		key := ctxKey(ctx[len(ctx)-length:])
+		if tbl, ok := m.counts[length-1][key]; ok && len(tbl) > 0 {
+			return topOf(tbl, k)
+		}
+	}
+	if len(m.unigr) > 0 {
+		return topOf(m.unigr, k)
+	}
+	return nil
+}
+
+// Predict returns the single most likely next page, or false when the model
+// has no data at all.
+func (m *Model) Predict(ctx []webgraph.PageID) (webgraph.PageID, bool) {
+	top := m.TopK(ctx, 1)
+	if len(top) == 0 {
+		return webgraph.InvalidPage, false
+	}
+	return top[0], true
+}
+
+// HitRate evaluates the model on sessions: for every transition, predict
+// the next page from the preceding context and count a hit when the true
+// next page is among the top k predictions. It returns the hit fraction and
+// the number of transitions evaluated.
+func (m *Model) HitRate(sessions []session.Session, k int) (float64, int) {
+	hits, n := 0, 0
+	for _, s := range sessions {
+		pages := s.Pages()
+		for i := 1; i < len(pages); i++ {
+			n++
+			for _, p := range m.TopK(pages[:i], k) {
+				if p == pages[i] {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(hits) / float64(n), n
+}
+
+func topOf(tbl map[webgraph.PageID]int, k int) []webgraph.PageID {
+	type pc struct {
+		p webgraph.PageID
+		c int
+	}
+	all := make([]pc, 0, len(tbl))
+	for p, c := range tbl {
+		all = append(all, pc{p, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].p < all[j].p
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]webgraph.PageID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}
+
+func ctxKey(pages []webgraph.PageID) string {
+	var sb strings.Builder
+	for i, p := range pages {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(p)))
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartsra/internal/heuristics"
+	"smartsra/internal/session"
+	"smartsra/internal/simulator"
+	"smartsra/internal/webgraph"
+)
+
+var t0 = time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+
+func mk(pages ...int) session.Session {
+	s := session.Session{User: "u"}
+	for i, p := range pages {
+		s.Entries = append(s.Entries, session.Entry{
+			Page: webgraph.PageID(p),
+			Time: t0.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	return s
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	m, err := Train(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Observations() != 0 || m.Order() != 2 {
+		t.Errorf("empty model: %d obs, order %d", m.Observations(), m.Order())
+	}
+	if _, ok := m.Predict([]webgraph.PageID{1}); ok {
+		t.Error("empty model predicted something")
+	}
+	if got := m.TopK([]webgraph.PageID{1}, 0); got != nil {
+		t.Errorf("TopK(k=0) = %v", got)
+	}
+}
+
+func TestPredictFirstOrder(t *testing.T) {
+	// After page 1, page 2 twice and page 3 once.
+	m, err := Train([]session.Session{mk(1, 2), mk(1, 2), mk(1, 3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.Predict([]webgraph.PageID{1})
+	if !ok || p != 2 {
+		t.Errorf("Predict(1) = %v, %v", p, ok)
+	}
+	top := m.TopK([]webgraph.PageID{1}, 5)
+	if len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Errorf("TopK = %v", top)
+	}
+	if m.Observations() != 3 {
+		t.Errorf("observations = %d", m.Observations())
+	}
+}
+
+func TestPredictBacksOffToShorterContext(t *testing.T) {
+	// Second-order model; the context [9 1] was never seen, but [1] was.
+	m, err := Train([]session.Session{mk(0, 1, 2), mk(5, 1, 2)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.Predict([]webgraph.PageID{9, 1})
+	if !ok || p != 2 {
+		t.Errorf("backoff Predict = %v, %v", p, ok)
+	}
+	// A fully unseen context falls back to the global distribution.
+	p, ok = m.Predict([]webgraph.PageID{42})
+	if !ok {
+		t.Fatal("global fallback missing")
+	}
+	if p != 1 && p != 2 {
+		t.Errorf("global fallback = %v", p)
+	}
+}
+
+func TestPredictUsesLongestContext(t *testing.T) {
+	// After [1], next is usually 2; but after [7 1] specifically, next is 3.
+	sessions := []session.Session{
+		mk(1, 2), mk(1, 2), mk(1, 2),
+		mk(7, 1, 3), mk(7, 1, 3),
+	}
+	m, err := Train(sessions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := m.Predict([]webgraph.PageID{7, 1}); p != 3 {
+		t.Errorf("order-2 context ignored: %v", p)
+	}
+	if p, _ := m.Predict([]webgraph.PageID{1}); p != 2 {
+		t.Errorf("order-1 context wrong: %v", p)
+	}
+}
+
+func TestPredictDeterministicTies(t *testing.T) {
+	m, err := Train([]session.Session{mk(1, 5), mk(1, 3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if p, _ := m.Predict([]webgraph.PageID{1}); p != 3 {
+			t.Fatalf("tie not broken by page id: %v", p)
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	train := []session.Session{mk(1, 2, 3), mk(1, 2, 3)}
+	m, err := Train(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, n := m.HitRate([]session.Session{mk(1, 2, 3)}, 1)
+	if n != 2 || rate != 1 {
+		t.Errorf("perfect replay: rate=%v n=%d", rate, n)
+	}
+	rate, n = m.HitRate([]session.Session{mk(1, 9)}, 1)
+	if n != 1 || rate != 0 {
+		t.Errorf("miss: rate=%v n=%d", rate, n)
+	}
+	if rate, n := m.HitRate(nil, 1); rate != 0 || n != 0 {
+		t.Errorf("empty eval: %v %v", rate, n)
+	}
+}
+
+// The downstream claim: a predictor trained on Smart-SRA sessions
+// outperforms one trained on time-gap sessions when both are evaluated on
+// ground-truth navigation.
+func TestSessionQualityAffectsPrefetch(t *testing.T) {
+	g, err := webgraph.GenerateTopology(webgraph.TopologyConfig{
+		Pages: 100, AvgOutDegree: 8, StartPageFraction: 0.08,
+		Model: webgraph.ModelUniform, EnsureReachable: true,
+	}, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := simulator.PaperParams()
+	params.Agents = 600
+	res, err := simulator.Run(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on the first half of agents' reconstructions, evaluate on the
+	// second half's real sessions.
+	half := len(res.Streams) / 2
+	trainStreams, evalUsers := res.Streams[:half], make(map[string]bool)
+	for _, st := range res.Streams[half:] {
+		evalUsers[st.User] = true
+	}
+	var evalReal []session.Session
+	for _, r := range res.Real {
+		if evalUsers[r.User] {
+			evalReal = append(evalReal, r)
+		}
+	}
+
+	rateFor := func(h heuristics.Reconstructor) float64 {
+		m, err := Train(heuristics.ReconstructAll(h, trainStreams), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate, _ := m.HitRate(evalReal, 3)
+		return rate
+	}
+	smart := rateFor(heuristics.NewSmartSRA(g))
+	timegap := rateFor(heuristics.NewTimeGap())
+	if smart <= timegap {
+		t.Errorf("Smart-SRA-trained hit rate %.3f not above time-gap %.3f", smart, timegap)
+	}
+	t.Logf("top-3 hit rate on real navigation: smartsra=%.3f timegap=%.3f", smart, timegap)
+}

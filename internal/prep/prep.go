@@ -1,0 +1,113 @@
+// Package prep turns a cleaned web-server log into the per-user,
+// timestamp-ordered request streams that session reconstruction heuristics
+// consume. It covers the paper's user-identification step: for reactive
+// processing "IP address, request time, and URL are the only information
+// needed", so users default to being keyed by IP.
+package prep
+
+import (
+	"fmt"
+	"sort"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+// UserKey derives a user identity from a record. The zero-value default used
+// by Options is ByIP.
+type UserKey func(clf.Record) string
+
+// ByIP keys users by client IP — the only identity a CLF reactive pipeline
+// has (the paper, §1).
+func ByIP(r clf.Record) string { return r.Host }
+
+// ByIPAndAuthUser keys by IP plus the authenticated user name when present,
+// which separates users behind a shared proxy IP on sites using HTTP auth.
+func ByIPAndAuthUser(r clf.Record) string {
+	if r.AuthUser == "" || r.AuthUser == "-" {
+		return r.Host
+	}
+	return r.Host + "|" + r.AuthUser
+}
+
+// Resolver maps a request URI to a page of the site topology. Unresolvable
+// URIs (external links, unmapped paths) are dropped and counted.
+type Resolver func(uri string) (webgraph.PageID, bool)
+
+// GraphResolver resolves URIs against the labels of g.
+func GraphResolver(g *webgraph.Graph) Resolver {
+	return g.PageByURI
+}
+
+// Options configures BuildStreams. The zero value means: no cleaning filter,
+// users keyed by IP.
+type Options struct {
+	// Filter drops records before user identification; nil keeps everything.
+	// Use clf.StandardCleaning() for the conventional pipeline.
+	Filter clf.Filter
+	// Key derives user identities; nil means ByIP.
+	Key UserKey
+}
+
+// Stats reports what happened to the input during stream building.
+type Stats struct {
+	// Records is the number of input records.
+	Records int
+	// Filtered is the number dropped by the cleaning filter.
+	Filtered int
+	// Unresolved is the number of surviving records whose URI did not map to
+	// a page of the topology.
+	Unresolved int
+	// Users is the number of distinct users identified.
+	Users int
+}
+
+// String summarizes the stats for reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("records=%d filtered=%d unresolved=%d users=%d",
+		s.Records, s.Filtered, s.Unresolved, s.Users)
+}
+
+// BuildStreams groups records into per-user request streams, sorted by
+// timestamp within each user (stable, so same-timestamp records keep log
+// order). Streams are returned sorted by user key for determinism.
+func BuildStreams(records []clf.Record, resolve Resolver, opts Options) ([]session.Stream, Stats, error) {
+	if resolve == nil {
+		return nil, Stats{}, fmt.Errorf("prep: nil resolver")
+	}
+	key := opts.Key
+	if key == nil {
+		key = ByIP
+	}
+	stats := Stats{Records: len(records)}
+	byUser := make(map[string][]session.Entry)
+	for _, rec := range records {
+		if opts.Filter != nil && !opts.Filter(rec) {
+			stats.Filtered++
+			continue
+		}
+		page, ok := resolve(rec.URI)
+		if !ok {
+			stats.Unresolved++
+			continue
+		}
+		u := key(rec)
+		byUser[u] = append(byUser[u], session.Entry{Page: page, Time: rec.Time})
+	}
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	streams := make([]session.Stream, 0, len(users))
+	for _, u := range users {
+		entries := byUser[u]
+		sort.SliceStable(entries, func(i, j int) bool {
+			return entries[i].Time.Before(entries[j].Time)
+		})
+		streams = append(streams, session.Stream{User: u, Entries: entries})
+	}
+	stats.Users = len(streams)
+	return streams, stats, nil
+}

@@ -1,0 +1,200 @@
+// Package report generates the usage-analytics summaries a site operator
+// derives from reconstructed sessions: page popularity, entry and exit
+// pages, session length and duration distributions, and hourly traffic —
+// the site-reorganization and personalization inputs the paper's
+// introduction lists as applications of web usage mining.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"smartsra/internal/session"
+	"smartsra/internal/stats"
+	"smartsra/internal/webgraph"
+)
+
+// PageStat aggregates one page's appearances across sessions.
+type PageStat struct {
+	Page webgraph.PageID
+	// Views is the number of page views across all sessions.
+	Views int
+	// Entries is how often the page opened a session.
+	Entries int
+	// Exits is how often the page closed a session.
+	Exits int
+	// Sessions is the number of distinct sessions containing the page.
+	Sessions int
+}
+
+// Report is the aggregated analytics for a session set.
+type Report struct {
+	// Sessions is the number of sessions analyzed.
+	Sessions int
+	// Users is the number of distinct users.
+	Users int
+	// Views is the total page-view count.
+	Views int
+	// Length summarizes session lengths (page views per session).
+	Length stats.Summary
+	// Duration summarizes session durations in minutes.
+	Duration stats.Summary
+	// Pages holds per-page statistics, sorted by descending views then
+	// ascending page ID.
+	Pages []PageStat
+	// Hourly[h] counts sessions that started in hour h (0-23, UTC).
+	Hourly [24]int
+}
+
+// Build computes a Report from sessions. Empty sessions are ignored.
+func Build(sessions []session.Session) *Report {
+	r := &Report{}
+	users := make(map[string]bool)
+	byPage := make(map[webgraph.PageID]*PageStat)
+	var lengths, durations []float64
+	get := func(p webgraph.PageID) *PageStat {
+		st := byPage[p]
+		if st == nil {
+			st = &PageStat{Page: p}
+			byPage[p] = st
+		}
+		return st
+	}
+	for _, s := range sessions {
+		if s.Len() == 0 {
+			continue
+		}
+		r.Sessions++
+		users[s.User] = true
+		lengths = append(lengths, float64(s.Len()))
+		durations = append(durations, s.Duration().Minutes())
+		r.Hourly[s.Entries[0].Time.UTC().Hour()]++
+		seen := make(map[webgraph.PageID]bool, s.Len())
+		for i, e := range s.Entries {
+			st := get(e.Page)
+			st.Views++
+			r.Views++
+			if i == 0 {
+				st.Entries++
+			}
+			if i == s.Len()-1 {
+				st.Exits++
+			}
+			if !seen[e.Page] {
+				seen[e.Page] = true
+				st.Sessions++
+			}
+		}
+	}
+	r.Users = len(users)
+	r.Length = stats.Summarize(lengths)
+	r.Duration = stats.Summarize(durations)
+	r.Pages = make([]PageStat, 0, len(byPage))
+	for _, st := range byPage {
+		r.Pages = append(r.Pages, *st)
+	}
+	sort.Slice(r.Pages, func(i, j int) bool {
+		if r.Pages[i].Views != r.Pages[j].Views {
+			return r.Pages[i].Views > r.Pages[j].Views
+		}
+		return r.Pages[i].Page < r.Pages[j].Page
+	})
+	return r
+}
+
+// TopEntries returns the k most common session entry pages, descending.
+func (r *Report) TopEntries(k int) []PageStat {
+	return topBy(r.Pages, k, func(s PageStat) int { return s.Entries })
+}
+
+// TopExits returns the k most common session exit pages, descending.
+func (r *Report) TopExits(k int) []PageStat {
+	return topBy(r.Pages, k, func(s PageStat) int { return s.Exits })
+}
+
+func topBy(pages []PageStat, k int, key func(PageStat) int) []PageStat {
+	out := append([]PageStat(nil), pages...)
+	sort.Slice(out, func(i, j int) bool {
+		if key(out[i]) != key(out[j]) {
+			return key(out[i]) > key(out[j])
+		}
+		return out[i].Page < out[j].Page
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	out = out[:k]
+	// Drop zero-count tails: a page that never was an entry is noise here.
+	for len(out) > 0 && key(out[len(out)-1]) == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// labeler resolves page IDs to display names; webgraph.Graph satisfies it.
+type labeler interface {
+	Label(webgraph.PageID) string
+}
+
+// Write renders the report as text. The labeler may be nil, in which case
+// raw page IDs print.
+func (r *Report) Write(w io.Writer, g labeler, topK int) error {
+	name := func(p webgraph.PageID) string {
+		if g != nil {
+			if l := g.Label(p); l != "" {
+				return l
+			}
+		}
+		return fmt.Sprintf("page-%d", p)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sessions: %d  users: %d  page views: %d\n", r.Sessions, r.Users, r.Views)
+	fmt.Fprintf(&sb, "session length: %s\n", r.Length)
+	fmt.Fprintf(&sb, "session duration (min): %s\n", r.Duration)
+
+	fmt.Fprintf(&sb, "\ntop %d pages by views:\n", topK)
+	for i, st := range r.Pages {
+		if i == topK {
+			break
+		}
+		fmt.Fprintf(&sb, "%4d. %-26s views=%-6d sessions=%-6d entry=%-5d exit=%d\n",
+			i+1, name(st.Page), st.Views, st.Sessions, st.Entries, st.Exits)
+	}
+	fmt.Fprintf(&sb, "\ntop entry pages:\n")
+	for _, st := range r.TopEntries(topK) {
+		fmt.Fprintf(&sb, "  %-26s %d\n", name(st.Page), st.Entries)
+	}
+	fmt.Fprintf(&sb, "\ntop exit pages:\n")
+	for _, st := range r.TopExits(topK) {
+		fmt.Fprintf(&sb, "  %-26s %d\n", name(st.Page), st.Exits)
+	}
+
+	fmt.Fprintf(&sb, "\nsessions by start hour (UTC):\n")
+	peak := 0
+	for _, c := range r.Hourly {
+		if c > peak {
+			peak = c
+		}
+	}
+	for h, c := range r.Hourly {
+		bar := 0
+		if peak > 0 {
+			bar = c * 30 / peak
+		}
+		fmt.Fprintf(&sb, "  %02d:00 %6d %s\n", h, c, strings.Repeat("#", bar))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// PeakHour returns the busiest session-start hour and its count.
+func (r *Report) PeakHour() (hour, count int) {
+	for h, c := range r.Hourly {
+		if c > count {
+			hour, count = h, c
+		}
+	}
+	return hour, count
+}

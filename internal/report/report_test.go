@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+var t0 = time.Date(2006, 1, 2, 12, 0, 0, 0, time.UTC)
+
+func mk(user string, startHour int, pages ...int) session.Session {
+	s := session.Session{User: user}
+	base := time.Date(2006, 1, 2, startHour, 0, 0, 0, time.UTC)
+	for i, p := range pages {
+		s.Entries = append(s.Entries, session.Entry{
+			Page: webgraph.PageID(p),
+			Time: base.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	return s
+}
+
+func TestBuildCounts(t *testing.T) {
+	sessions := []session.Session{
+		mk("alice", 9, 1, 2, 3),
+		mk("alice", 10, 1, 2),
+		mk("bob", 9, 2, 2), // repeated page in one session
+		{User: "empty"},
+	}
+	r := Build(sessions)
+	if r.Sessions != 3 || r.Users != 2 || r.Views != 7 {
+		t.Fatalf("report = sessions:%d users:%d views:%d", r.Sessions, r.Users, r.Views)
+	}
+	find := func(p int) PageStat {
+		for _, st := range r.Pages {
+			if st.Page == webgraph.PageID(p) {
+				return st
+			}
+		}
+		t.Fatalf("page %d missing", p)
+		return PageStat{}
+	}
+	p1 := find(1)
+	if p1.Views != 2 || p1.Entries != 2 || p1.Exits != 0 || p1.Sessions != 2 {
+		t.Errorf("page 1 = %+v", p1)
+	}
+	p2 := find(2)
+	if p2.Views != 4 || p2.Sessions != 3 || p2.Entries != 1 || p2.Exits != 2 {
+		t.Errorf("page 2 = %+v", p2)
+	}
+	p3 := find(3)
+	if p3.Exits != 1 || p3.Entries != 0 {
+		t.Errorf("page 3 = %+v", p3)
+	}
+	// Pages sorted by views descending: page 2 first.
+	if r.Pages[0].Page != 2 {
+		t.Errorf("sort order: %v", r.Pages)
+	}
+	if r.Length.Mean < 2.3 || r.Length.Mean > 2.4 { // (3+2+2)/3
+		t.Errorf("length mean = %v", r.Length.Mean)
+	}
+	if r.Hourly[9] != 2 || r.Hourly[10] != 1 {
+		t.Errorf("hourly = %v", r.Hourly)
+	}
+	if h, c := r.PeakHour(); h != 9 || c != 2 {
+		t.Errorf("peak = %d@%d", c, h)
+	}
+}
+
+func TestTopEntriesExitsDropZeroTails(t *testing.T) {
+	sessions := []session.Session{
+		mk("u", 9, 1, 2),
+		mk("u", 9, 1, 3),
+	}
+	r := Build(sessions)
+	entries := r.TopEntries(10)
+	if len(entries) != 1 || entries[0].Page != 1 || entries[0].Entries != 2 {
+		t.Errorf("entries = %v", entries)
+	}
+	exits := r.TopExits(10)
+	if len(exits) != 2 {
+		t.Errorf("exits = %v", exits)
+	}
+	for _, e := range exits {
+		if e.Exits == 0 {
+			t.Errorf("zero-exit page kept: %v", e)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	r := Build(nil)
+	if r.Sessions != 0 || r.Users != 0 || len(r.Pages) != 0 {
+		t.Errorf("empty report = %+v", r)
+	}
+	if h, c := r.PeakHour(); h != 0 || c != 0 {
+		t.Errorf("empty peak = %d@%d", c, h)
+	}
+}
+
+func TestWrite(t *testing.T) {
+	g, ids := webgraph.PaperFigure1()
+	sessions := []session.Session{
+		mk("u", 9, int(ids["P1"]), int(ids["P13"]), int(ids["P34"])),
+		mk("v", 14, int(ids["P1"]), int(ids["P20"])),
+	}
+	r := Build(sessions)
+	var sb strings.Builder
+	if err := r.Write(&sb, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"/P1.html", "top entry pages", "top exit pages", "09:00", "14:00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Nil labeler falls back to raw IDs.
+	var sb2 strings.Builder
+	if err := r.Write(&sb2, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "page-") {
+		t.Errorf("fallback names missing:\n%s", sb2.String())
+	}
+}

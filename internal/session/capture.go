@@ -1,0 +1,100 @@
+package session
+
+import "smartsra/internal/webgraph"
+
+// Captures reports whether reconstructed session h captures real session r
+// in the paper's sense (§5.1): r's page sequence occurs as a CONTIGUOUS
+// subsequence of h's page sequence, preserving order with no interruptions.
+// The paper's example makes contiguity explicit: R=[P1,P3,P5] is captured by
+// H=[P9,P1,P3,P5,P8] but NOT by H=[P1,P9,P3,P5,P8], "because P9 interrupts
+// R in H".
+//
+// Empty real sessions are vacuously captured.
+func Captures(h, r Session) bool {
+	return indexOf(h.Pages(), r.Pages()) >= 0
+}
+
+// CapturedByAny reports whether any of the candidate sessions captures r.
+func CapturedByAny(candidates []Session, r Session) bool {
+	for _, h := range candidates {
+		if Captures(h, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexOf returns the first index at which needle occurs contiguously in
+// haystack, or -1. This is the "ordinary string searching algorithm" the
+// paper adopts; page sequences are short, so the naive O(n·m) scan is the
+// right tool (and is what the paper describes).
+func indexOf(haystack, needle []webgraph.PageID) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	if len(needle) > len(haystack) {
+		return -1
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, p := range needle {
+			if haystack[i+j] != p {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// IsSubsequence reports whether needle occurs in haystack as a (not
+// necessarily contiguous) order-preserving subsequence. This is NOT the
+// paper's capture relation — it is provided for analyses that want the
+// looser notion (e.g. pattern mining support counting).
+func IsSubsequence(haystack, needle []webgraph.PageID) bool {
+	j := 0
+	for _, p := range haystack {
+		if j == len(needle) {
+			return true
+		}
+		if p == needle[j] {
+			j++
+		}
+	}
+	return j == len(needle)
+}
+
+// Subsumes reports whether session a subsumes session b: b's pages occur
+// contiguously within a's. Smart-SRA guarantees its output sessions are
+// maximal, i.e. no output session subsumes another (unless equal).
+func Subsumes(a, b Session) bool {
+	return len(a.Entries) >= len(b.Entries) && indexOf(a.Pages(), b.Pages()) >= 0
+}
+
+// MaximalOnly filters out sessions strictly subsumed by another session in
+// the set, preserving the original order of the survivors. Exact duplicates
+// keep their first occurrence.
+func MaximalOnly(sessions []Session) []Session {
+	out := make([]Session, 0, len(sessions))
+	for i, s := range sessions {
+		subsumed := false
+		for j, t := range sessions {
+			if i == j {
+				continue
+			}
+			if len(t.Entries) > len(s.Entries) && Subsumes(t, s) {
+				subsumed = true
+				break
+			}
+			// Equal-length subsumption means equality: drop later duplicates.
+			if j < i && len(t.Entries) == len(s.Entries) && Subsumes(t, s) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package session
+
+import "testing"
+
+// FuzzParseLine checks the session text parser never panics and that
+// accepted lines round-trip through Session.String.
+func FuzzParseLine(f *testing.F) {
+	f.Add("10.0.0.7:[3 14 15]")
+	f.Add("u:[]")
+	f.Add("a:b:[1]")
+	f.Add("")
+	f.Add("u:[1 -2]")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseLine(s.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected rendering %q: %v", line, s.String(), err)
+		}
+		if again.String() != s.String() {
+			t.Fatalf("rendering not a fixed point: %q vs %q", again.String(), s.String())
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package simulator implements the paper's agent simulator (§4): a
+// generative model of web users navigating a site topology. It produces both
+// the ground-truth sessions (known because the simulator sees every
+// navigation, including ones served from the browser cache) and the web
+// server's access log (which misses the cache-served navigations). The
+// evaluation harness scores reconstruction heuristics by comparing their
+// output on the log against the ground truth.
+package simulator
+
+import (
+	"fmt"
+	"time"
+)
+
+// RevisitPolicy controls what behavior 2 (follow a link from the current
+// page) does when the randomly chosen link target was visited before.
+type RevisitPolicy int
+
+const (
+	// RevisitCache picks uniformly among all linked pages; a previously
+	// visited target is served from the browser cache (it stays in the real
+	// session but never reaches the server log). This is the default: the
+	// paper's cache model eliminates every request the browser can serve
+	// locally.
+	RevisitCache RevisitPolicy = iota
+	// RevisitAvoid prefers unvisited link targets when any exist, falling
+	// back to visited ones (cache-served) otherwise. Exposed for the
+	// sensitivity bench; produces cleaner logs than real traffic.
+	RevisitAvoid
+)
+
+// String names the policy for reports.
+func (p RevisitPolicy) String() string {
+	switch p {
+	case RevisitCache:
+		return "cache"
+	case RevisitAvoid:
+		return "avoid"
+	default:
+		return fmt.Sprintf("RevisitPolicy(%d)", int(p))
+	}
+}
+
+// Params configures a simulation run. Start from PaperParams and adjust.
+type Params struct {
+	// STP is the Session Termination Probability: at each request the agent
+	// stops with probability STP (behavior 4). Range (0, 1).
+	STP float64
+	// LPP is the Link-from-Previous-pages Probability: the chance the agent
+	// moves back through the browser cache to an earlier page and continues
+	// from there (behavior 3). Range [0, 1).
+	LPP float64
+	// NIP is the New-Initial-page Probability: the chance the agent jumps to
+	// an unvisited start page, ending the current session (behavior 1).
+	// Range [0, 1).
+	NIP float64
+	// MeanStay is the mean page-stay time; the paper uses 2.12 minutes
+	// (median of a normal distribution equals its mean).
+	MeanStay time.Duration
+	// StdDevStay is the page-stay standard deviation; 0.5 minutes in the
+	// paper.
+	StdDevStay time.Duration
+	// Agents is the number of simulated web users; 10000 in Table 5.
+	Agents int
+	// Seed makes the whole run reproducible. Each agent derives its own
+	// deterministic generator from Seed, so results do not depend on
+	// scheduling.
+	Seed int64
+	// Start is the simulated wall-clock origin; agents begin at Start plus a
+	// per-agent offset inside StartWindow. Zero means 2006-01-02 00:00 UTC.
+	Start time.Time
+	// StartWindow spreads agent arrivals; zero means 24h.
+	StartWindow time.Duration
+	// MaxRequests caps one agent's total navigations as a safety net against
+	// pathological parameter choices (e.g. STP=0 would never terminate).
+	// Zero means 1000.
+	MaxRequests int
+	// Revisit selects the behavior-2 revisit policy; see RevisitPolicy.
+	Revisit RevisitPolicy
+	// Workers bounds the number of agents simulated concurrently; zero means
+	// GOMAXPROCS.
+	Workers int
+	// ProxyFraction is the fraction of agents that sit behind shared proxy
+	// IPs (the paper, §1: "all users behind a proxy server will have the
+	// same IP number ... will be seen as a single client machine"). Their
+	// log records carry the proxy's address, so a reactive pipeline merges
+	// their request streams. Range [0, 1]; zero disables proxies.
+	ProxyFraction float64
+	// ProxySize is how many agents share one proxy IP; zero means 4.
+	ProxySize int
+	// Stay selects the page-stay distribution; see StayModel.
+	Stay StayModel
+}
+
+// StayModel selects the shape of the page-stay time distribution.
+type StayModel int
+
+const (
+	// StayNormal draws stays from N(MeanStay, StdDevStay²) — the paper's
+	// Table 5 model.
+	StayNormal StayModel = iota
+	// StayLognormal draws stays from a lognormal with median MeanStay and
+	// log-scale σ = StdDevStay/MeanStay — the heavy-tailed shape real dwell
+	// times exhibit; exposed as a robustness ablation.
+	StayLognormal
+)
+
+// String names the model for reports.
+func (m StayModel) String() string {
+	switch m {
+	case StayNormal:
+		return "normal"
+	case StayLognormal:
+		return "lognormal"
+	default:
+		return fmt.Sprintf("StayModel(%d)", int(m))
+	}
+}
+
+// PaperParams returns Table 5's fixed parameters: STP 5%, LPP 30%, NIP 30%,
+// page-stay N(2.12 min, 0.5 min), 10000 agents.
+func PaperParams() Params {
+	return Params{
+		STP:        0.05,
+		LPP:        0.30,
+		NIP:        0.30,
+		MeanStay:   2*time.Minute + 7200*time.Millisecond, // 2.12 min = 2m07.2s
+		StdDevStay: 30 * time.Second,
+		Agents:     10000,
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.STP <= 0 || p.STP >= 1 {
+		return fmt.Errorf("simulator: STP %.3f out of range (0, 1)", p.STP)
+	}
+	if p.LPP < 0 || p.LPP >= 1 {
+		return fmt.Errorf("simulator: LPP %.3f out of range [0, 1)", p.LPP)
+	}
+	if p.NIP < 0 || p.NIP >= 1 {
+		return fmt.Errorf("simulator: NIP %.3f out of range [0, 1)", p.NIP)
+	}
+	if p.MeanStay <= 0 {
+		return fmt.Errorf("simulator: mean stay %v not positive", p.MeanStay)
+	}
+	if p.StdDevStay < 0 {
+		return fmt.Errorf("simulator: stay deviation %v negative", p.StdDevStay)
+	}
+	if p.Agents <= 0 {
+		return fmt.Errorf("simulator: agent count %d not positive", p.Agents)
+	}
+	if p.MaxRequests < 0 {
+		return fmt.Errorf("simulator: max requests %d negative", p.MaxRequests)
+	}
+	if p.ProxyFraction < 0 || p.ProxyFraction > 1 {
+		return fmt.Errorf("simulator: proxy fraction %.3f out of range [0, 1]", p.ProxyFraction)
+	}
+	if p.ProxySize < 0 {
+		return fmt.Errorf("simulator: proxy size %d negative", p.ProxySize)
+	}
+	return nil
+}
+
+// withDefaults fills the zero-value fields.
+func (p Params) withDefaults() Params {
+	if p.Start.IsZero() {
+		p.Start = time.Date(2006, 1, 2, 0, 0, 0, 0, time.UTC)
+	}
+	if p.StartWindow == 0 {
+		p.StartWindow = 24 * time.Hour
+	}
+	if p.MaxRequests == 0 {
+		p.MaxRequests = 1000
+	}
+	if p.ProxySize == 0 {
+		p.ProxySize = 4
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// evaluation harness uses: summaries (mean, deviation, quantiles), an
+// online accumulator, fixed-width histograms, and normal-approximation
+// confidence intervals for replicated experiment runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the arithmetic mean (0 for empty samples).
+	Mean float64
+	// StdDev is the sample standard deviation (n-1 denominator; 0 when
+	// N < 2).
+	StdDev float64
+	// Min and Max are the extremes (0 for empty samples).
+	Min, Max float64
+	// Median is the 50th percentile.
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	s.Mean = acc.Mean()
+	s.StdDev = acc.StdDev()
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width for the
+// mean (1.96·sd/√n; 0 when N < 2). For the handful of replicas experiments
+// use, this slightly understates the Student-t interval — documented, and
+// fine for the qualitative shape checks it supports.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation. It panics on unsorted input only in
+// the sense of returning nonsense; callers sort first (Summarize does).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Accumulator computes mean and variance online (Welford's algorithm),
+// without retaining samples. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the sample variance (n-1 denominator; 0 when N < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); out-of-range
+// observations clamp into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: need at least 1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// String renders the histogram as an ASCII bar chart.
+func (h *Histogram) String() string {
+	const maxBar = 40
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * maxBar / peak
+		}
+		fmt.Fprintf(&sb, "[%8.2f, %8.2f) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package webgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file provides the web-structure-mining measurements the paper's
+// introduction situates the work in: popularity scores (PageRank), degree
+// distributions, and reachability statistics over a site topology.
+
+// PageRank computes the standard PageRank popularity scores with the given
+// damping factor (0 < damping < 1; 0.85 is conventional) to the given
+// tolerance on the L1 change per iteration. Dangling pages (no out-links)
+// redistribute their mass uniformly. The returned slice is indexed by page
+// and sums to 1 (within tolerance); it is nil for an empty graph.
+func (g *Graph) PageRank(damping float64, tol float64, maxIter int) ([]float64, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("webgraph: damping %v out of range (0, 1)", damping)
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("webgraph: tolerance %v not positive", tol)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("webgraph: need at least one iteration")
+	}
+	n := g.n
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for iter := 0; iter < maxIter; iter++ {
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if len(g.succ[u]) == 0 {
+				dangling += rank[u]
+			}
+		}
+		spread := damping * dangling / float64(n)
+		for v := range next {
+			next[v] = base + spread
+		}
+		for u := 0; u < n; u++ {
+			out := g.succ[u]
+			if len(out) == 0 {
+				continue
+			}
+			share := damping * rank[u] / float64(len(out))
+			for _, v := range out {
+				next[v] += share
+			}
+		}
+		delta := 0.0
+		for v := range next {
+			delta += math.Abs(next[v] - rank[v])
+		}
+		rank, next = next, rank
+		if delta < tol {
+			return rank, nil
+		}
+	}
+	return rank, nil
+}
+
+// TopPages returns the k highest-scoring pages under scores, descending,
+// ties broken by page ID.
+func TopPages(scores []float64, k int) []PageID {
+	ids := make([]PageID, len(scores))
+	for i := range ids {
+		ids[i] = PageID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if scores[ids[a]] != scores[ids[b]] {
+			return scores[ids[a]] > scores[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// DegreeStats summarizes a degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// Analysis is a structural summary of a topology.
+type Analysis struct {
+	Pages, Edges     int
+	StartPages       int
+	OutDegree        DegreeStats
+	InDegree         DegreeStats
+	Dangling         int // pages without out-links
+	Unreferenced     int // pages without in-links
+	ReachableFromAny int // pages reachable from at least one start page
+	SCCs             int // strongly connected components
+	LargestSCC       int // size of the largest SCC (the bow-tie core)
+}
+
+// Analyze computes the structural summary.
+func (g *Graph) Analyze() Analysis {
+	a := Analysis{
+		Pages:      g.n,
+		Edges:      g.edges,
+		StartPages: len(g.starts),
+	}
+	if g.n == 0 {
+		return a
+	}
+	a.OutDegree.Min, a.InDegree.Min = g.n, g.n
+	for u := 0; u < g.n; u++ {
+		od, id := len(g.succ[u]), len(g.pred[u])
+		if od == 0 {
+			a.Dangling++
+		}
+		if id == 0 {
+			a.Unreferenced++
+		}
+		if od < a.OutDegree.Min {
+			a.OutDegree.Min = od
+		}
+		if od > a.OutDegree.Max {
+			a.OutDegree.Max = od
+		}
+		if id < a.InDegree.Min {
+			a.InDegree.Min = id
+		}
+		if id > a.InDegree.Max {
+			a.InDegree.Max = id
+		}
+	}
+	a.OutDegree.Mean = float64(g.edges) / float64(g.n)
+	a.InDegree.Mean = a.OutDegree.Mean
+	a.ReachableFromAny = len(g.ReachableFrom(g.starts...))
+	comps := g.SCCs()
+	a.SCCs = len(comps)
+	for _, c := range comps {
+		if len(c) > a.LargestSCC {
+			a.LargestSCC = len(c)
+		}
+	}
+	return a
+}
+
+// String renders the analysis as a small report.
+func (a Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pages=%d edges=%d start-pages=%d\n", a.Pages, a.Edges, a.StartPages)
+	fmt.Fprintf(&sb, "out-degree min=%d mean=%.2f max=%d (dangling: %d)\n",
+		a.OutDegree.Min, a.OutDegree.Mean, a.OutDegree.Max, a.Dangling)
+	fmt.Fprintf(&sb, "in-degree  min=%d mean=%.2f max=%d (unreferenced: %d)\n",
+		a.InDegree.Min, a.InDegree.Mean, a.InDegree.Max, a.Unreferenced)
+	fmt.Fprintf(&sb, "reachable from start pages: %d/%d\n", a.ReachableFromAny, a.Pages)
+	fmt.Fprintf(&sb, "strongly connected components: %d (largest: %d)", a.SCCs, a.LargestSCC)
+	return sb.String()
+}

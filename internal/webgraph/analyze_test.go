@@ -1,0 +1,129 @@
+package webgraph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPageRankValidation(t *testing.T) {
+	g, _ := PaperFigure1()
+	bad := []struct {
+		damping, tol float64
+		iters        int
+	}{
+		{0, 1e-9, 100}, {1, 1e-9, 100}, {0.85, 0, 100}, {0.85, 1e-9, 0},
+	}
+	for i, c := range bad {
+		if _, err := g.PageRank(c.damping, c.tol, c.iters); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	empty := NewBuilder(0).MustBuild()
+	if r, err := empty.PageRank(0.85, 1e-9, 100); err != nil || r != nil {
+		t.Errorf("empty graph: %v, %v", r, err)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := GenerateTopology(PaperTopology(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := g.PageRank(0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankOrdersPopularity(t *testing.T) {
+	// Star: everyone links to the hub; hub links back to one page.
+	b := NewBuilder(5)
+	for i := PageID(1); i < 5; i++ {
+		if err := b.AddEdge(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	rank, err := g.PageRank(0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 5; i++ {
+		if rank[0] <= rank[i] {
+			t.Errorf("hub rank %v not above leaf %v", rank[0], rank[i])
+		}
+	}
+	top := TopPages(rank, 2)
+	if top[0] != 0 || top[1] != 1 {
+		t.Errorf("TopPages = %v", top)
+	}
+	if got := TopPages(rank, 99); len(got) != 5 {
+		t.Errorf("TopPages clamped wrong: %v", got)
+	}
+}
+
+func TestPageRankHandlesDangling(t *testing.T) {
+	// 0 -> 1, 1 has no out-links: its mass must redistribute, not vanish.
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	rank, err := g.PageRank(0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rank[0]+rank[1]-1) > 1e-6 {
+		t.Errorf("mass lost: %v", rank)
+	}
+	if rank[1] <= rank[0] {
+		t.Errorf("linked-to page not more popular: %v", rank)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	g, _ := PaperFigure1()
+	a := g.Analyze()
+	if a.Pages != 6 || a.Edges != 7 || a.StartPages != 2 {
+		t.Errorf("analysis = %+v", a)
+	}
+	if a.Dangling != 1 { // P23 has no out-links
+		t.Errorf("dangling = %d", a.Dangling)
+	}
+	// P1 is the only page with in-degree 0 (P13<-P1, P20<-P1, P23<-P34/P49/P20,
+	// P34<-P13, P49<-P13).
+	if a.Unreferenced != 1 {
+		t.Errorf("unreferenced = %d, want 1", a.Unreferenced)
+	}
+	if a.OutDegree.Max != 2 || a.InDegree.Max != 3 {
+		t.Errorf("degrees = %+v", a)
+	}
+	if a.ReachableFromAny != 6 {
+		t.Errorf("reachable = %d", a.ReachableFromAny)
+	}
+	if a.SCCs != 6 || a.LargestSCC != 1 {
+		t.Errorf("scc stats = %d/%d, want 6/1 (figure 1 is acyclic)", a.SCCs, a.LargestSCC)
+	}
+	out := a.String()
+	if !strings.Contains(out, "pages=6") || !strings.Contains(out, "reachable") {
+		t.Errorf("report:\n%s", out)
+	}
+	if e := NewBuilder(0).MustBuild().Analyze(); e.Pages != 0 {
+		t.Errorf("empty analysis: %+v", e)
+	}
+}

@@ -1,0 +1,112 @@
+package webgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// graphJSON is the on-disk representation written by Encode. Edges are
+// stored as per-source adjacency lists to keep files compact and diffable.
+type graphJSON struct {
+	Pages      int        `json:"pages"`
+	Labels     []string   `json:"labels"`
+	StartPages []PageID   `json:"start_pages"`
+	Edges      [][]PageID `json:"edges"` // Edges[u] = sorted out-neighbors of u
+}
+
+// Encode writes the graph as JSON. The format round-trips exactly through
+// Decode and is what cmd/simgen emits so that cmd/sessionize and
+// cmd/evaluate can reuse a topology.
+func (g *Graph) Encode(w io.Writer) error {
+	j := graphJSON{
+		Pages:      g.n,
+		Labels:     g.labels,
+		StartPages: g.starts,
+		Edges:      g.succ,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(j); err != nil {
+		return fmt.Errorf("webgraph: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a graph previously written by Encode, validating the payload
+// (edge ranges, label count, start-page ranges) before constructing it.
+func Decode(r io.Reader) (*Graph, error) {
+	var j graphJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("webgraph: decode: %w", err)
+	}
+	if j.Pages < 0 {
+		return nil, fmt.Errorf("webgraph: decode: negative page count %d", j.Pages)
+	}
+	if len(j.Labels) != 0 && len(j.Labels) != j.Pages {
+		return nil, fmt.Errorf("webgraph: decode: %d labels for %d pages", len(j.Labels), j.Pages)
+	}
+	if len(j.Edges) > j.Pages {
+		return nil, fmt.Errorf("webgraph: decode: adjacency for %d pages but only %d declared",
+			len(j.Edges), j.Pages)
+	}
+	b := NewBuilder(j.Pages)
+	for i, uri := range j.Labels {
+		if err := b.SetLabel(PageID(i), uri); err != nil {
+			return nil, err
+		}
+	}
+	for u, out := range j.Edges {
+		for _, v := range out {
+			if err := b.AddEdge(PageID(u), v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, s := range j.StartPages {
+		if err := b.MarkStartPage(s); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// WriteDOT renders the graph in Graphviz DOT syntax, with start pages drawn
+// as double circles. Intended for small example graphs.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "webgraph"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=LR;\n")
+	for p := 0; p < g.n; p++ {
+		shape := "circle"
+		if g.IsStartPage(PageID(p)) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q shape=%s];\n", p, g.labels[p], shape)
+	}
+	type edge struct{ u, v PageID }
+	edges := make([]edge, 0, g.edges)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.succ[u] {
+			edges = append(edges, edge{PageID(u), v})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.u, e.v)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

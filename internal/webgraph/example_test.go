@@ -1,0 +1,36 @@
+package webgraph_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartsra/internal/webgraph"
+)
+
+// ExamplePaperFigure1 inspects the paper's running-example topology.
+func ExamplePaperFigure1() {
+	g, ids := webgraph.PaperFigure1()
+	fmt.Println(g)
+	fmt.Println("P1 -> P13:", g.HasEdge(ids["P1"], ids["P13"]))
+	fmt.Println("P20 -> P13:", g.HasEdge(ids["P20"], ids["P13"]))
+	// Output:
+	// webgraph.Graph{pages: 6, edges: 7, start pages: 2}
+	// P1 -> P13: true
+	// P20 -> P13: false
+}
+
+// ExampleGenerateTopology builds the paper's Table 5 site.
+func ExampleGenerateTopology() {
+	g, err := webgraph.GenerateTopology(webgraph.PaperTopology(), rand.New(rand.NewSource(2006)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("pages:", g.NumPages())
+	fmt.Println("start pages:", len(g.StartPages()))
+	fmt.Println("all reachable:", len(g.ReachableFrom(g.StartPages()...)) == g.NumPages())
+	// Output:
+	// pages: 300
+	// start pages: 15
+	// all reachable: true
+}

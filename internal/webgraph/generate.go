@@ -1,0 +1,257 @@
+package webgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TopologyModel selects the random-graph model used by GenerateTopology.
+type TopologyModel int
+
+const (
+	// ModelUniform draws each page's link targets uniformly at random; the
+	// out-degree of each page is binomially distributed around the requested
+	// average. This matches the paper's Table 5 setup (a "typical web page
+	// topology" with a fixed average out-degree).
+	ModelUniform TopologyModel = iota
+	// ModelPreferential draws link targets with probability proportional to
+	// their current in-degree plus one (a preferential-attachment variant per
+	// the web-graph models the paper cites [1,8,10]). It produces the heavy
+	// in-degree skew observed on real sites.
+	ModelPreferential
+)
+
+// String names the model for reports and flags.
+func (m TopologyModel) String() string {
+	switch m {
+	case ModelUniform:
+		return "uniform"
+	case ModelPreferential:
+		return "preferential"
+	default:
+		return fmt.Sprintf("TopologyModel(%d)", int(m))
+	}
+}
+
+// ParseTopologyModel converts a flag string to a TopologyModel.
+func ParseTopologyModel(s string) (TopologyModel, error) {
+	switch s {
+	case "uniform":
+		return ModelUniform, nil
+	case "preferential":
+		return ModelPreferential, nil
+	}
+	return 0, fmt.Errorf("webgraph: unknown topology model %q (want uniform or preferential)", s)
+}
+
+// TopologyConfig parameterizes GenerateTopology. The zero value is not
+// useful; start from PaperTopology() and adjust.
+type TopologyConfig struct {
+	// Pages is the number of web pages (Table 5: 300).
+	Pages int
+	// AvgOutDegree is the mean number of hyperlinks per page (Table 5: 15).
+	AvgOutDegree float64
+	// StartPageFraction is the fraction of pages designated as session entry
+	// pages. The paper does not fix this; we default to 0.05 (15 of 300).
+	StartPageFraction float64
+	// Model selects the random-graph model.
+	Model TopologyModel
+	// EnsureReachable, when set, adds a minimal set of extra edges so that
+	// every page is reachable from at least one start page. Without it the
+	// simulator may generate topologies with pages no agent can visit, which
+	// is harmless but wastes nodes.
+	EnsureReachable bool
+}
+
+// PaperTopology returns the Table 5 configuration: 300 pages, average
+// out-degree 15, 5% start pages, uniform model, reachability enforced.
+func PaperTopology() TopologyConfig {
+	return TopologyConfig{
+		Pages:             300,
+		AvgOutDegree:      15,
+		StartPageFraction: 0.05,
+		Model:             ModelUniform,
+		EnsureReachable:   true,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c TopologyConfig) Validate() error {
+	if c.Pages < 2 {
+		return fmt.Errorf("webgraph: need at least 2 pages, got %d", c.Pages)
+	}
+	if c.AvgOutDegree <= 0 || c.AvgOutDegree > float64(c.Pages-1) {
+		return fmt.Errorf("webgraph: average out-degree %.2f out of range (0, %d]",
+			c.AvgOutDegree, c.Pages-1)
+	}
+	if c.StartPageFraction <= 0 || c.StartPageFraction > 1 {
+		return fmt.Errorf("webgraph: start-page fraction %.3f out of range (0, 1]",
+			c.StartPageFraction)
+	}
+	if c.Model != ModelUniform && c.Model != ModelPreferential {
+		return fmt.Errorf("webgraph: unknown topology model %d", c.Model)
+	}
+	return nil
+}
+
+// GenerateTopology builds a random site topology according to cfg, drawing
+// all randomness from rng so results are reproducible from a seed.
+func GenerateTopology(cfg TopologyConfig, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(cfg.Pages)
+
+	// Designate start pages first: at least one, chosen uniformly.
+	nStarts := int(float64(cfg.Pages)*cfg.StartPageFraction + 0.5)
+	if nStarts < 1 {
+		nStarts = 1
+	}
+	perm := rng.Perm(cfg.Pages)
+	starts := make([]PageID, 0, nStarts)
+	for _, p := range perm[:nStarts] {
+		starts = append(starts, PageID(p))
+		if err := b.MarkStartPage(PageID(p)); err != nil {
+			return nil, err
+		}
+	}
+	// Give the first start page the traditional label.
+	if err := b.SetLabel(starts[0], "/index.html"); err != nil {
+		return nil, err
+	}
+
+	switch cfg.Model {
+	case ModelUniform:
+		generateUniform(b, cfg, rng)
+	case ModelPreferential:
+		generatePreferential(b, cfg, rng)
+	}
+
+	if cfg.EnsureReachable {
+		ensureReachable(b, starts, rng)
+	}
+	return b.Build()
+}
+
+// generateUniform gives each page a number of out-links drawn so that the
+// expected out-degree equals cfg.AvgOutDegree, with targets uniform over the
+// other pages.
+func generateUniform(b *Builder, cfg TopologyConfig, rng *rand.Rand) {
+	n := cfg.Pages
+	p := cfg.AvgOutDegree / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	for u := 0; u < n; u++ {
+		// Binomial(n-1, p) via per-candidate coin flips is O(N²) overall but
+		// trivially fast at paper scale (300 pages => 90k flips).
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if rng.Float64() < p {
+				// Error impossible: in-range, no self-link, first visit.
+				_ = b.AddEdge(PageID(u), PageID(v))
+			}
+		}
+	}
+}
+
+// generatePreferential draws, for each page, round(AvgOutDegree) targets with
+// probability proportional to (in-degree + 1), skipping self-links and
+// duplicates.
+func generatePreferential(b *Builder, cfg TopologyConfig, rng *rand.Rand) {
+	n := cfg.Pages
+	k := int(cfg.AvgOutDegree + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	indeg := make([]int, n)
+	weightSum := n // sum of (indeg+1) over all pages
+	for u := 0; u < n; u++ {
+		added := 0
+		for attempts := 0; added < k && attempts < 20*k; attempts++ {
+			v := weightedPick(indeg, weightSum, rng)
+			if v == u || b.HasEdge(PageID(u), PageID(v)) {
+				continue
+			}
+			_ = b.AddEdge(PageID(u), PageID(v))
+			indeg[v]++
+			weightSum++
+			added++
+		}
+	}
+}
+
+// weightedPick returns an index drawn with probability (indeg[i]+1)/weightSum.
+func weightedPick(indeg []int, weightSum int, rng *rand.Rand) int {
+	t := rng.Intn(weightSum)
+	acc := 0
+	for i, d := range indeg {
+		acc += d + 1
+		if t < acc {
+			return i
+		}
+	}
+	return len(indeg) - 1
+}
+
+// ensureReachable adds edges so every page is reachable from some start
+// page. It repeatedly BFSes from the start set and, for each unreached page,
+// links it from a uniformly chosen reached page.
+func ensureReachable(b *Builder, starts []PageID, rng *rand.Rand) {
+	n := b.n
+	reached := make([]bool, n)
+	queue := make([]PageID, 0, n)
+	for _, s := range starts {
+		if !reached[s] {
+			reached[s] = true
+			queue = append(queue, s)
+		}
+	}
+	order := make([]PageID, 0, n) // reached pages, in discovery order
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range b.succ[u] {
+			if !reached[v] {
+				reached[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if reached[v] {
+			continue
+		}
+		// Link from a random already-reached page; retries cover the rare
+		// duplicate-edge case.
+		for {
+			u := order[rng.Intn(len(order))]
+			if b.HasEdge(u, PageID(v)) {
+				continue
+			}
+			_ = b.AddEdge(u, PageID(v))
+			break
+		}
+		reached[v] = true
+		order = append(order, PageID(v))
+		// Pages newly reachable *through* v are discovered as later loop
+		// iterations reach them; a full re-BFS is unnecessary because we only
+		// need every page reached, and linking v from the reached set plus
+		// the scan order guarantees that.
+		queue = append(queue, PageID(v))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range b.succ[u] {
+				if !reached[w] {
+					reached[w] = true
+					order = append(order, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package webgraph models a static web site as a directed graph whose nodes
+// are web pages and whose edges are hyperlinks. The paper's reactive session
+// reconstruction heuristics (navigation-oriented and Smart-SRA) consult this
+// topology, and the agent simulator navigates it.
+//
+// Graphs are immutable once built (via Builder or one of the generators in
+// generate.go), which makes them safe for concurrent readers: the simulator
+// runs thousands of agents in parallel over a single Graph.
+package webgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageID identifies a page (node) in a Graph. IDs are dense: a graph with N
+// pages uses IDs 0..N-1.
+type PageID int32
+
+// InvalidPage is returned by lookups that fail to resolve a page.
+const InvalidPage PageID = -1
+
+// Graph is an immutable directed graph of web pages.
+//
+// The zero value is an empty graph with no pages; use a Builder or a
+// generator to construct a useful one.
+type Graph struct {
+	n      int
+	succ   [][]PageID // out-edges, sorted ascending
+	pred   [][]PageID // in-edges, sorted ascending
+	bits   []uint64   // row-major adjacency bitmap: bit (u*n + v) set iff u->v
+	labels []string   // URI label per page, e.g. "/p/17.html"
+	byURI  map[string]PageID
+	starts []PageID // designated session entry pages, sorted
+	edges  int
+}
+
+// NumPages returns the number of pages (nodes).
+func (g *Graph) NumPages() int { return g.n }
+
+// NumEdges returns the number of hyperlinks (directed edges).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Valid reports whether p is a page of this graph.
+func (g *Graph) Valid(p PageID) bool { return p >= 0 && int(p) < g.n }
+
+// HasEdge reports whether there is a hyperlink from page u to page v.
+// It runs in O(1) using the adjacency bitmap.
+func (g *Graph) HasEdge(u, v PageID) bool {
+	if !g.Valid(u) || !g.Valid(v) {
+		return false
+	}
+	idx := int(u)*g.n + int(v)
+	return g.bits[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// Succ returns the pages directly linked from p (p's out-neighbors), sorted
+// ascending. The returned slice is shared; callers must not modify it.
+func (g *Graph) Succ(p PageID) []PageID {
+	if !g.Valid(p) {
+		return nil
+	}
+	return g.succ[p]
+}
+
+// Pred returns the pages that link to p (p's in-neighbors), sorted ascending.
+// The returned slice is shared; callers must not modify it.
+func (g *Graph) Pred(p PageID) []PageID {
+	if !g.Valid(p) {
+		return nil
+	}
+	return g.pred[p]
+}
+
+// OutDegree returns the number of hyperlinks leaving p.
+func (g *Graph) OutDegree(p PageID) int { return len(g.Succ(p)) }
+
+// InDegree returns the number of hyperlinks pointing at p.
+func (g *Graph) InDegree(p PageID) int { return len(g.Pred(p)) }
+
+// AvgOutDegree returns the mean out-degree across all pages, or 0 for an
+// empty graph. Table 5 of the paper fixes this at 15 for the default
+// topology.
+func (g *Graph) AvgOutDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.edges) / float64(g.n)
+}
+
+// Label returns the URI label of page p, or "" if p is invalid.
+func (g *Graph) Label(p PageID) string {
+	if !g.Valid(p) {
+		return ""
+	}
+	return g.labels[p]
+}
+
+// PageByURI resolves a URI label to its page, returning InvalidPage and
+// false when the URI names no page of this graph.
+func (g *Graph) PageByURI(uri string) (PageID, bool) {
+	p, ok := g.byURI[uri]
+	if !ok {
+		return InvalidPage, false
+	}
+	return p, true
+}
+
+// StartPages returns the designated session entry pages (the paper's "index
+// pages"), sorted ascending. The returned slice is shared; callers must not
+// modify it.
+func (g *Graph) StartPages() []PageID { return g.starts }
+
+// IsStartPage reports whether p is a designated entry page.
+func (g *Graph) IsStartPage(p PageID) bool {
+	i := sort.Search(len(g.starts), func(i int) bool { return g.starts[i] >= p })
+	return i < len(g.starts) && g.starts[i] == p
+}
+
+// Pages returns all page IDs in ascending order, in a fresh slice.
+func (g *Graph) Pages() []PageID {
+	out := make([]PageID, g.n)
+	for i := range out {
+		out[i] = PageID(i)
+	}
+	return out
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("webgraph.Graph{pages: %d, edges: %d, start pages: %d}",
+		g.n, g.edges, len(g.starts))
+}
+
+// AdjacencyMatrix materializes the Link matrix used by the paper's
+// pseudocode: m[u][v] is true iff there is a hyperlink u->v. It allocates
+// O(N²) booleans, so it is intended for small graphs (examples, tests); the
+// heuristics themselves use HasEdge on the shared bitmap instead.
+func (g *Graph) AdjacencyMatrix() [][]bool {
+	m := make([][]bool, g.n)
+	cells := make([]bool, g.n*g.n)
+	for u := 0; u < g.n; u++ {
+		m[u], cells = cells[:g.n], cells[g.n:]
+		for _, v := range g.succ[u] {
+			m[u][v] = true
+		}
+	}
+	return m
+}

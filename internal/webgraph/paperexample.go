@@ -1,0 +1,45 @@
+package webgraph
+
+// PaperFigure1 builds the six-page example topology of the paper's Figure 1
+// (also used by Figures 3-6 and Tables 1-4):
+//
+//	P1 -> P20, P1 -> P13, P13 -> P49, P13 -> P34,
+//	P34 -> P23, P49 -> P23, P20 -> P23
+//
+// P1 and P49 are the start pages (the gray pages of Figure 3). The returned
+// map resolves the paper's page names ("P1", "P13", ...) to page IDs.
+//
+// The edge set is reconstructed from the Link[...] conditions listed in
+// Table 2 and the reachability statements in Table 4 ("P23 is reachable from
+// P34, P49 and P20").
+func PaperFigure1() (*Graph, map[string]PageID) {
+	names := []string{"P1", "P13", "P20", "P23", "P34", "P49"}
+	b := NewBuilder(len(names))
+	ids := make(map[string]PageID, len(names))
+	for i, name := range names {
+		ids[name] = PageID(i)
+		// Names are unique, so SetLabel cannot fail.
+		_ = b.SetLabel(PageID(i), "/"+name+".html")
+	}
+	edges := [][2]string{
+		{"P1", "P20"},
+		{"P1", "P13"},
+		{"P13", "P49"},
+		{"P13", "P34"},
+		{"P34", "P23"},
+		{"P49", "P23"},
+		{"P20", "P23"},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(ids[e[0]], ids[e[1]]); err != nil {
+			panic("webgraph: PaperFigure1: " + err.Error())
+		}
+	}
+	_ = b.MarkStartPage(ids["P1"])
+	_ = b.MarkStartPage(ids["P49"])
+	g, err := b.Build()
+	if err != nil {
+		panic("webgraph: PaperFigure1: " + err.Error())
+	}
+	return g, ids
+}

@@ -1,0 +1,96 @@
+package webgraph
+
+// SCCs returns the strongly connected components of the graph (Tarjan's
+// algorithm, iterative so deep sites cannot overflow the stack). Components
+// come out in reverse topological order of the condensation; pages within a
+// component are sorted ascending. Web-graph studies (the paper's refs
+// [1,8,10]) characterize sites by their SCC structure — the "bow-tie" —
+// and the generators here can be sanity-checked against that shape.
+func (g *Graph) SCCs() [][]PageID {
+	n := g.n
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []PageID
+		comps   [][]PageID
+		counter int32
+	)
+
+	// Iterative Tarjan: frame holds the vertex and its successor cursor.
+	type frame struct {
+		v    PageID
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: PageID(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, PageID(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := g.succ[f.v]
+			if f.next < len(succ) {
+				w := succ[f.next]
+				f.next++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors done: maybe pop a component, then return to
+			// the parent frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []PageID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortPages(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// LargestSCC returns the size of the largest strongly connected component
+// (0 for an empty graph).
+func (g *Graph) LargestSCC() int {
+	best := 0
+	for _, c := range g.SCCs() {
+		if len(c) > best {
+			best = len(c)
+		}
+	}
+	return best
+}

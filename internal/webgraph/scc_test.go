@@ -1,0 +1,125 @@
+package webgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdges(t *testing.T, n int, edges [][2]PageID) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestSCCsSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 plus a tail 2 -> 3.
+	g := mustEdges(t, 4, [][2]PageID{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if g.LargestSCC() != 3 {
+		t.Errorf("largest = %d", g.LargestSCC())
+	}
+	// Reverse topological order: the sink {3} must come before the cycle.
+	if len(comps[0]) != 1 || comps[0][0] != 3 {
+		t.Errorf("first component = %v, want [3]", comps[0])
+	}
+	if len(comps[1]) != 3 || comps[1][0] != 0 || comps[1][2] != 2 {
+		t.Errorf("cycle component = %v", comps[1])
+	}
+}
+
+func TestSCCsAcyclic(t *testing.T) {
+	g := mustEdges(t, 3, [][2]PageID{{0, 1}, {1, 2}})
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("DAG components = %v", comps)
+	}
+	for _, c := range comps {
+		if len(c) != 1 {
+			t.Errorf("DAG has non-singleton component %v", c)
+		}
+	}
+	if g.LargestSCC() != 1 {
+		t.Errorf("largest = %d", g.LargestSCC())
+	}
+}
+
+func TestSCCsEmptyAndFigure1(t *testing.T) {
+	if got := NewBuilder(0).MustBuild().SCCs(); len(got) != 0 {
+		t.Errorf("empty graph SCCs = %v", got)
+	}
+	if NewBuilder(0).MustBuild().LargestSCC() != 0 {
+		t.Error("empty largest not 0")
+	}
+	g, _ := PaperFigure1()
+	// Figure 1 is acyclic: 6 singleton components.
+	if comps := g.SCCs(); len(comps) != 6 {
+		t.Errorf("figure 1 components = %d", len(comps))
+	}
+}
+
+func TestSCCsDeepChainNoOverflow(t *testing.T) {
+	// A 100k-node path would blow a recursive Tarjan's goroutine stack in
+	// other implementations; the iterative one must handle it.
+	const n = 100000
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(PageID(i), PageID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	if got := len(g.SCCs()); got != n {
+		t.Errorf("chain components = %d", got)
+	}
+}
+
+// Property: SCCs partition the vertex set, and any two pages in one
+// component reach each other.
+func TestSCCsPartitionAndMutualReachabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := TopologyConfig{
+			Pages: 30, AvgOutDegree: 2.5, StartPageFraction: 0.1,
+			Model: ModelUniform,
+		}
+		g, err := GenerateTopology(cfg, rng)
+		if err != nil {
+			return false
+		}
+		comps := g.SCCs()
+		seen := make(map[PageID]bool)
+		for _, c := range comps {
+			for _, p := range c {
+				if seen[p] {
+					return false // overlap
+				}
+				seen[p] = true
+			}
+			// Mutual reachability within the component.
+			for _, p := range c {
+				reach := make(map[PageID]bool)
+				for _, r := range g.ReachableFrom(p) {
+					reach[r] = true
+				}
+				for _, q := range c {
+					if !reach[q] {
+						return false
+					}
+				}
+			}
+		}
+		return len(seen) == g.NumPages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

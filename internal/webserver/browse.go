@@ -1,0 +1,236 @@
+package webserver
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+)
+
+// This file implements a live browsing agent: the simulator's four
+// navigation behaviors executed as real HTTP requests against a running
+// Site. Unlike internal/simulator — which walks the graph directly — the
+// live agent discovers links only by parsing the HTML it fetches and keeps
+// a client-side cache, so the server log it generates is produced by the
+// same mechanism as real traffic (including Referer headers).
+
+// BrowseConfig parameterizes one live agent.
+type BrowseConfig struct {
+	// Entries are the site's entry URIs (typically the topology's start
+	// pages); the agent types these into the address bar.
+	Entries []string
+	// STP, LPP, NIP are the paper's behavior probabilities.
+	STP, LPP, NIP float64
+	// MaxRequests caps total navigations; zero means 200.
+	MaxRequests int
+	// Rng drives all choices; required for reproducibility.
+	Rng *rand.Rand
+	// UserAgent is sent with every request; empty means "live-agent/1.0".
+	UserAgent string
+}
+
+// BrowseResult reports what the agent did.
+type BrowseResult struct {
+	// RealSessions are the ground-truth sessions as URI sequences, with the
+	// same semantics as the simulator's (cache navigations included,
+	// backward walks excluded).
+	RealSessions [][]string
+	// Fetched counts requests that reached the server.
+	Fetched int
+	// CacheHits counts navigations served from the local cache.
+	CacheHits int
+}
+
+// Browse runs one agent against the site at base (e.g. an httptest server
+// URL) until termination. Every fetched page is parsed for links and cached;
+// revisits never touch the server, exactly like a browser.
+func Browse(client *http.Client, base string, cfg BrowseConfig) (*BrowseResult, error) {
+	if len(cfg.Entries) == 0 {
+		return nil, fmt.Errorf("webserver: no entry URIs")
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("webserver: nil Rng")
+	}
+	maxReq := cfg.MaxRequests
+	if maxReq == 0 {
+		maxReq = 200
+	}
+	ua := cfg.UserAgent
+	if ua == "" {
+		ua = "live-agent/1.0"
+	}
+
+	res := &BrowseResult{}
+	cache := make(map[string][]string) // uri -> links
+	var cur []string                   // current real session (URIs)
+	flush := func() {
+		if len(cur) > 0 {
+			res.RealSessions = append(res.RealSessions, cur)
+			cur = nil
+		}
+	}
+	// visit navigates to uri (fetching on cache miss with the given referer)
+	// and returns its links.
+	visit := func(uri, referer string) ([]string, error) {
+		links, hit := cache[uri]
+		if !hit {
+			var err error
+			links, err = fetch(client, base, uri, referer, ua)
+			if err != nil {
+				return nil, err
+			}
+			cache[uri] = links
+			res.Fetched++
+		} else {
+			res.CacheHits++
+		}
+		cur = append(cur, uri)
+		return links, nil
+	}
+
+	next := cfg.Entries[cfg.Rng.Intn(len(cfg.Entries))]
+	referer := ""
+	for requests := 0; ; {
+		links, err := visit(next, referer)
+		if err != nil {
+			return nil, err
+		}
+		requests++
+		if requests >= maxReq || cfg.Rng.Float64() < cfg.STP {
+			break
+		}
+		if cfg.Rng.Float64() < cfg.NIP {
+			entry, ok := pickFresh(cfg.Entries, cache, cfg.Rng)
+			if !ok {
+				entry = cfg.Entries[cfg.Rng.Intn(len(cfg.Entries))]
+			}
+			flush()
+			next, referer = entry, "" // typed into the address bar
+			continue
+		}
+		if cfg.Rng.Float64() < cfg.LPP {
+			if target, fresh, ok := backTarget(cur, cache, cfg.Rng); ok {
+				res.CacheHits += distanceFromEnd(cur, target)
+				flush()
+				cur = append(cur, target) // re-arrived via cache
+				res.CacheHits++
+				next, referer = fresh, target
+				continue
+			}
+		}
+		if len(links) == 0 {
+			break // dead end
+		}
+		prev := cur[len(cur)-1]
+		next, referer = links[cfg.Rng.Intn(len(links))], prev
+	}
+	flush()
+	return res, nil
+}
+
+// fetch GETs base+uri with headers and returns the page's links.
+func fetch(client *http.Client, base, uri, referer, ua string) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, base+uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", ua)
+	if referer != "" {
+		req.Header.Set("Referer", referer)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webserver: GET %s: status %d", uri, resp.StatusCode)
+	}
+	return ExtractLinks(string(body)), nil
+}
+
+// ExtractLinks returns the href targets of the page's anchor tags, in
+// document order. It understands the minimal HTML Site emits (quoted href
+// attributes) — enough for any well-formed static page.
+func ExtractLinks(body string) []string {
+	var out []string
+	rest := body
+	for {
+		i := strings.Index(rest, `href="`)
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len(`href="`):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			return out
+		}
+		if link := rest[:j]; link != "" {
+			out = append(out, link)
+		}
+		rest = rest[j+1:]
+	}
+}
+
+// pickFresh returns a uniformly chosen entry URI not yet cached.
+func pickFresh(entries []string, cache map[string][]string, rng *rand.Rand) (string, bool) {
+	var fresh []string
+	for _, e := range entries {
+		if _, ok := cache[e]; !ok {
+			fresh = append(fresh, e)
+		}
+	}
+	if len(fresh) == 0 {
+		return "", false
+	}
+	return fresh[rng.Intn(len(fresh))], true
+}
+
+// backTarget picks an earlier page of the current session with at least one
+// uncached link, returning it and the fresh link to follow.
+func backTarget(cur []string, cache map[string][]string, rng *rand.Rand) (target, fresh string, ok bool) {
+	type cand struct {
+		uri   string
+		fresh []string
+	}
+	var cands []cand
+	for _, uri := range cur[:max(0, len(cur)-1)] {
+		var unvisited []string
+		for _, l := range cache[uri] {
+			if _, seen := cache[l]; !seen {
+				unvisited = append(unvisited, l)
+			}
+		}
+		if len(unvisited) > 0 {
+			cands = append(cands, cand{uri: uri, fresh: unvisited})
+		}
+	}
+	if len(cands) == 0 {
+		return "", "", false
+	}
+	c := cands[rng.Intn(len(cands))]
+	return c.uri, c.fresh[rng.Intn(len(c.fresh))], true
+}
+
+// distanceFromEnd returns how many back-steps reach the last occurrence of
+// uri (for cache-hit accounting).
+func distanceFromEnd(cur []string, uri string) int {
+	for i := len(cur) - 1; i >= 0; i-- {
+		if cur[i] == uri {
+			return len(cur) - 1 - i
+		}
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+// Package webserver serves a webgraph topology as a real website over
+// net/http and writes the Common/Combined Log Format access log that the
+// reactive pipeline consumes. It closes the paper's loop end to end: real
+// HTTP requests from real clients produce a real server log, which
+// internal/core then turns back into sessions.
+//
+// The handler renders every page as minimal HTML whose anchor tags are
+// exactly the page's out-edges, so a crawler or live agent navigating the
+// site experiences the same topology the heuristics consult.
+package webserver
+
+import (
+	"fmt"
+	"html"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/webgraph"
+)
+
+// Site is an http.Handler serving a topology as HTML pages.
+type Site struct {
+	g *webgraph.Graph
+}
+
+// NewSite returns a handler for the topology. Page URIs are the graph's
+// labels; "/" redirects to the first start page; "/robots.txt" is served so
+// crawler traffic patterns can be exercised.
+func NewSite(g *webgraph.Graph) *Site {
+	return &Site{g: g}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/":
+		starts := s.g.StartPages()
+		if len(starts) == 0 {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, s.g.Label(starts[0]), http.StatusFound)
+		return
+	case "/robots.txt":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "User-agent: *\nDisallow:\n")
+		return
+	}
+	page, ok := s.g.PageByURI(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var sb strings.Builder
+	title := html.EscapeString(s.g.Label(page))
+	fmt.Fprintf(&sb, "<!DOCTYPE html>\n<html><head><title>%s</title></head><body>\n", title)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n<ul>\n", title)
+	for _, succ := range s.g.Succ(page) {
+		uri := html.EscapeString(s.g.Label(succ))
+		fmt.Fprintf(&sb, "<li><a href=%q>%s</a></li>\n", uri, uri)
+	}
+	sb.WriteString("</ul></body></html>\n")
+	fmt.Fprint(w, sb.String())
+}
+
+// LogSink receives finished access-log records.
+type LogSink interface {
+	Record(clf.Record)
+}
+
+// CollectSink is a concurrency-safe in-memory LogSink.
+type CollectSink struct {
+	mu      sync.Mutex
+	records []clf.Record
+}
+
+// Record implements LogSink.
+func (c *CollectSink) Record(r clf.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = append(c.records, r)
+}
+
+// Records returns a copy of everything collected so far.
+func (c *CollectSink) Records() []clf.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]clf.Record(nil), c.records...)
+}
+
+// WriterSink adapts a clf.Writer into a LogSink. Errors are retained and
+// reported by Err (an access logger must not fail requests).
+type WriterSink struct {
+	mu  sync.Mutex
+	w   *clf.Writer
+	err error
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w *clf.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Record implements LogSink.
+func (s *WriterSink) Record(r clf.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		if err := s.w.Write(r); err != nil {
+			s.err = err
+		}
+	}
+}
+
+// Flush drains the underlying writer.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// AccessLog wraps an http.Handler with CLF access logging: every request
+// produces one clf.Record on the sink, with the client IP, timestamp,
+// request line, status, byte count, Referer, and User-Agent (the last two
+// populate combined-format rendering only).
+func AccessLog(next http.Handler, sink LogSink, now func() time.Time) http.Handler {
+	if now == nil {
+		now = time.Now
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		at := now()
+		next.ServeHTTP(cw, r)
+		host := r.RemoteAddr
+		if h, _, err := net.SplitHostPort(host); err == nil {
+			host = h
+		}
+		uri := r.URL.RequestURI()
+		sink.Record(clf.Record{
+			Host:      host,
+			Ident:     "-",
+			AuthUser:  "-",
+			Time:      at,
+			Method:    r.Method,
+			URI:       uri,
+			Protocol:  r.Proto,
+			Status:    cw.status,
+			Bytes:     cw.bytes,
+			Referer:   headerOrDash(r.Header.Get("Referer")),
+			UserAgent: headerOrDash(r.Header.Get("User-Agent")),
+		})
+	})
+}
+
+func headerOrDash(v string) string {
+	if v == "" {
+		return clf.NoField
+	}
+	return v
+}
+
+// countingWriter captures the status code and body size.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (c *countingWriter) WriteHeader(status int) {
+	c.status = status
+	c.ResponseWriter.WriteHeader(status)
+}
+
+// Write implements http.ResponseWriter.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
+}
