@@ -12,6 +12,7 @@ package smartsra
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -155,6 +156,36 @@ func BenchmarkFigure10AccuracyVsNIP(b *testing.B) {
 	exp := eval.Figure10(benchConfig())
 	exp.Values = []float64{0, 0.50, 0.90}
 	benchSweep(b, exp)
+}
+
+// BenchmarkSweepSequential runs a reduced Figure 8 sweep one point at a
+// time — the wall-clock baseline for BenchmarkSweepParallel.
+func BenchmarkSweepSequential(b *testing.B) {
+	exp := eval.Figure8(benchConfig())
+	exp.Values = exp.Values[:8]
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunWith(eval.RunOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep under the bounded worker pool
+// at increasing widths; on >=4 cores the all-cores variant should show a
+// >=2x wall-clock speedup over BenchmarkSweepSequential while producing
+// bit-identical PointResults (pinned by TestRunWithMatchesSequential).
+func BenchmarkSweepParallel(b *testing.B) {
+	exp := eval.Figure8(benchConfig())
+	exp.Values = exp.Values[:8]
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.RunWith(eval.RunOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // benchWorkload builds one simulated workload for the ablation benches.

@@ -6,6 +6,13 @@
 //
 //	evaluate -experiment stp|lpp|nip|all [-agents 10000] [-seed 1]
 //	         [-pages 300] [-outdeg 15] [-csv DIR] [-session-stats] [-via-clf]
+//	         [-workers N] [-progress]
+//
+// Sweep points run concurrently under a bounded worker pool (-workers,
+// default all cores) over one shared topology; any worker count produces
+// byte-identical output because every point is seeded independently.
+// -progress reports per-point completion and a final metrics snapshot on
+// stderr, leaving stdout byte-identical.
 //
 // Accuracy is reported under both readings of the paper's §5.1 metric:
 // matched (one-to-one, headline) and exists (any capturer counts); see
@@ -18,8 +25,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"smartsra/internal/eval"
+	"smartsra/internal/metrics"
 )
 
 func main() {
@@ -35,16 +44,19 @@ func main() {
 		stats      = flag.Bool("session-stats", false, "also print reconstructed session shapes")
 		viaCLF     = flag.Bool("via-clf", false, "route requests through a full CLF encode/parse/clean pipeline")
 		withRef    = flag.Bool("include-referrer", false, "also evaluate the referrer-chain upper bound (heurR)")
+		workers    = flag.Int("workers", 0, "concurrent sweep points (<=0: all cores; 1: sequential)")
+		progress   = flag.Bool("progress", false, "report per-point progress and a metrics snapshot on stderr")
 	)
 	flag.Parse()
-	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir, *stats, *viaCLF, *withRef); err != nil {
+	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir,
+		*stats, *viaCLF, *withRef, *workers, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
 func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
-	csvDir, svgDir string, sessionStats, viaCLF, withRef bool) error {
+	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool) error {
 	base := eval.PaperDefaults()
 	base.Params.Agents = agents
 	base.Params.Seed = seed
@@ -53,12 +65,24 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 	base.ViaCLF = viaCLF
 	base.IncludeReferrer = withRef
 
+	start := time.Now()
+	if progress {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "done in %s; metrics:\n", time.Since(start).Round(time.Millisecond))
+			metrics.Default.Snapshot().WriteText(os.Stderr)
+		}()
+	}
+	opts := eval.RunOptions{Workers: workers}
+
 	if experiment == "defaults" {
 		seeds := make([]int64, replicas)
 		for i := range seeds {
 			seeds[i] = seed + int64(i)
 		}
-		rep, err := eval.Replicate(base, seeds)
+		if progress {
+			opts.Progress = progressFunc("seed")
+		}
+		rep, err := eval.ReplicateWith(base, seeds, opts)
 		if err != nil {
 			return err
 		}
@@ -84,7 +108,11 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 		if i > 0 {
 			fmt.Println()
 		}
-		res, err := e.Run()
+		if progress {
+			fmt.Fprintf(os.Stderr, "%s: sweeping %s over %d points\n", e.Name, e.Variable, len(e.Values))
+			opts.Progress = progressFunc("point")
+		}
+		res, err := e.RunWith(opts)
 		if err != nil {
 			return err
 		}
@@ -112,6 +140,13 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 		}
 	}
 	return nil
+}
+
+// progressFunc returns a stderr progress reporter for one sweep's units.
+func progressFunc(unit string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "  %s %d/%d\n", unit, done, total)
+	}
 }
 
 // writeArtifact writes one output file via fill, creating the directory.

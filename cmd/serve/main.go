@@ -8,7 +8,9 @@
 //	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
 //
 // The log flushes on every request batch and on shutdown (Ctrl-C kills the
-// process; use a file and tail -f to watch).
+// process; use a file and tail -f to watch). Runtime counters — requests
+// served, log lines written, and any pipeline metrics the process
+// accumulates — are exposed as plain text at /debug/metrics.
 package main
 
 import (
@@ -20,9 +22,13 @@ import (
 	"time"
 
 	"smartsra/internal/clf"
+	"smartsra/internal/metrics"
 	"smartsra/internal/webgraph"
 	"smartsra/internal/webserver"
 )
+
+// metricRequests counts access-log records written by this server.
+var metricRequests = metrics.GetCounter("serve.requests")
 
 func main() {
 	var (
@@ -69,10 +75,12 @@ func run(topoPath, addr, logPath string, combined bool) error {
 	}
 	sink := webserver.NewWriterSink(w)
 
-	handler := webserver.AccessLog(webserver.NewSite(g), flushAfter{sink}, time.Now)
-	fmt.Printf("serving %s on %s (log: %s, format: %s)\n",
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", metrics.Handler())
+	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{sink}, time.Now))
+	fmt.Printf("serving %s on %s (log: %s, format: %s, metrics: /debug/metrics)\n",
 		g, addr, orStderr(logPath), format(combined))
-	return http.ListenAndServe(addr, handler)
+	return http.ListenAndServe(addr, mux)
 }
 
 // flushAfter flushes the log after every record so tail -f works.
@@ -80,6 +88,7 @@ type flushAfter struct{ sink *webserver.WriterSink }
 
 // Record implements webserver.LogSink.
 func (f flushAfter) Record(r clf.Record) {
+	metricRequests.Inc()
 	f.sink.Record(r)
 	if err := f.sink.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "serve: log write:", err)

@@ -4,6 +4,15 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"smartsra/internal/metrics"
+)
+
+// Process-wide data-quality instrumentation, aggregated across all Scanners
+// (per-Scanner numbers stay available via Malformed/LinesRead).
+var (
+	metricRecords   = metrics.GetCounter("clf.scanner.records")
+	metricMalformed = metrics.GetCounter("clf.scanner.malformed")
 )
 
 // Scanner streams Records out of a CLF log. Malformed lines do not abort the
@@ -52,6 +61,7 @@ func (s *Scanner) Scan() bool {
 		rec, _, err := ParseAnyRecord(line)
 		if err != nil {
 			s.bad++
+			metricMalformed.Inc()
 			if pe, ok := err.(*ParseError); ok && len(s.badErrs) < maxRetainedErrors {
 				pe.LineNo = s.lineNo
 				s.badErrs = append(s.badErrs, pe)
@@ -59,6 +69,7 @@ func (s *Scanner) Scan() bool {
 			continue
 		}
 		s.rec = rec
+		metricRecords.Inc()
 		return true
 	}
 	s.err = s.br.Err()
@@ -93,16 +104,19 @@ func isBlank(line string) bool {
 }
 
 // ReadAll parses every record in r, skipping malformed lines, and returns
-// the records plus the malformed-line count. It fails only on read errors.
+// the records plus the malformed-line count. It fails only on read errors —
+// and even then the records parsed before the failure and the malformed
+// count are returned alongside the error, so callers reading truncated logs
+// can still report the data they recovered and its quality.
 func ReadAll(r io.Reader) (records []Record, malformed int, err error) {
 	sc := NewScanner(r)
 	for sc.Scan() {
 		records = append(records, sc.Record())
 	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("clf: read: %w", err)
-	}
 	malformed, _ = sc.Malformed()
+	if err := sc.Err(); err != nil {
+		return records, malformed, fmt.Errorf("clf: read: %w", err)
+	}
 	return records, malformed, nil
 }
 

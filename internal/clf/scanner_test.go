@@ -3,8 +3,10 @@ package clf
 import (
 	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"time"
 )
 
@@ -80,6 +82,24 @@ func TestScannerPropagatesReadErrors(t *testing.T) {
 	}
 	if _, _, err := ReadAll(&failingReader{}); err == nil {
 		t.Error("ReadAll did not propagate read error")
+	}
+}
+
+// Regression: ReadAll used to return (nil, 0, err) on a read error, throwing
+// away everything parsed before the failure. Truncated-log callers need the
+// partial records and the malformed count alongside the error.
+func TestReadAllReturnsPartialsOnReadError(t *testing.T) {
+	prefix := logOf(sampleLine, "not a log line", sampleLine)
+	r := io.MultiReader(strings.NewReader(prefix), iotest.ErrReader(errors.New("disk on fire")))
+	records, malformed, err := ReadAll(r)
+	if err == nil {
+		t.Fatal("read error not propagated")
+	}
+	if len(records) != 2 {
+		t.Errorf("partial records = %d, want 2", len(records))
+	}
+	if malformed != 1 {
+		t.Errorf("malformed = %d, want 1", malformed)
 	}
 }
 

@@ -17,9 +17,20 @@ import (
 
 	"smartsra/internal/clf"
 	"smartsra/internal/heuristics"
+	"smartsra/internal/metrics"
 	"smartsra/internal/prep"
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
+)
+
+// Process-wide throughput instrumentation, aggregated across all Pipelines
+// and Tails (per-run numbers stay available via Stats). The counters are
+// atomic, so concurrent Pipeline use keeps exact totals.
+var (
+	metricPipelineRecords  = metrics.GetCounter("core.pipeline.records")
+	metricPipelineSessions = metrics.GetCounter("core.pipeline.sessions")
+	metricTailRecords      = metrics.GetCounter("core.tail.records")
+	metricTailSessions     = metrics.GetCounter("core.tail.sessions")
 )
 
 // Config assembles a Pipeline. Graph is required; everything else has
@@ -125,6 +136,8 @@ func (p *Pipeline) ProcessRecords(records []clf.Record) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	sessions := heuristics.ReconstructAll(p.cfg.Heuristic, streams)
+	metricPipelineRecords.Add(int64(pstats.Records))
+	metricPipelineSessions.Add(int64(len(sessions)))
 	return &Result{
 		Sessions: sessions,
 		Streams:  streams,

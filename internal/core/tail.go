@@ -59,6 +59,7 @@ func NewTail(cfg Config, rho time.Duration) (*Tail, error) {
 // Malformed-record handling belongs to the caller (clf.Scanner skips them).
 func (t *Tail) Push(rec clf.Record) []session.Session {
 	t.stats.Records++
+	metricTailRecords.Inc()
 	if t.cfg.Filter != nil && !t.cfg.Filter(rec) {
 		t.stats.Filtered++
 		return nil
@@ -137,5 +138,6 @@ func (t *Tail) close(user string, b *burst) []session.Session {
 	})
 	sessions := t.cfg.Heuristic.Reconstruct(session.Stream{User: user, Entries: entries})
 	t.stats.Sessions += len(sessions)
+	metricTailSessions.Add(int64(len(sessions)))
 	return sessions
 }

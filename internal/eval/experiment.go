@@ -3,14 +3,26 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
 
 	"smartsra/internal/clf"
 	"smartsra/internal/heuristics"
+	"smartsra/internal/metrics"
 	"smartsra/internal/prep"
 	"smartsra/internal/referrer"
 	"smartsra/internal/session"
 	"smartsra/internal/simulator"
 	"smartsra/internal/webgraph"
+)
+
+// Sweep-progress instrumentation (internal/metrics Default registry).
+var (
+	metricPointsDone = metrics.GetCounter("eval.points.completed")
+	metricSeedsDone  = metrics.GetCounter("eval.seeds.completed")
+	metricPointTime  = metrics.GetTimer("eval.point")
 )
 
 // HeuristicNames lists the four heuristics in the paper's order.
@@ -76,16 +88,34 @@ type PointResult struct {
 	RealSessions int
 }
 
-// EvaluatePoint simulates one run and scores every heuristic on it.
-func EvaluatePoint(cfg RunConfig) (*PointResult, error) {
+// Topology generates the site graph cfg describes. The generation RNG is
+// seeded with cfg.TopologySeed, independent of agent randomness, so the same
+// configuration always yields the same graph — sweeps and replications can
+// generate it once and share it read-only across concurrent points.
+func Topology(cfg RunConfig) (*webgraph.Graph, error) {
 	topoCfg := cfg.Topology
 	if topoCfg.Pages == 0 {
 		topoCfg = webgraph.PaperTopology()
 	}
-	g, err := webgraph.GenerateTopology(topoCfg, rand.New(rand.NewSource(cfg.TopologySeed)))
+	return webgraph.GenerateTopology(topoCfg, rand.New(rand.NewSource(cfg.TopologySeed)))
+}
+
+// EvaluatePoint simulates one run and scores every heuristic on it.
+func EvaluatePoint(cfg RunConfig) (*PointResult, error) {
+	g, err := Topology(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return EvaluatePointOn(g, cfg)
+}
+
+// EvaluatePointOn is EvaluatePoint over an already-generated topology. The
+// graph is only read, never written, so many points may share one. The
+// heuristics (and the optional referrer chain) are scored concurrently; the
+// result is identical to scoring them in sequence because each writes a
+// distinct key and scoring is a pure function of (real sessions, candidates).
+func EvaluatePointOn(g *webgraph.Graph, cfg RunConfig) (*PointResult, error) {
+	defer func(start time.Time) { metricPointTime.Observe(time.Since(start)) }(time.Now())
 	res, err := simulator.Run(g, cfg.Params)
 	if err != nil {
 		return nil, err
@@ -107,33 +137,102 @@ func EvaluatePoint(cfg RunConfig) (*PointResult, error) {
 		Reconstructed: make(map[string]SessionStats),
 		RealSessions:  len(res.Real),
 	}
-	for _, h := range build(g) {
-		candidates := heuristics.ReconstructAll(h, streams)
-		point.Matched[h.Name()] = ScoreMatched(res.Real, candidates)
-		point.Exists[h.Name()] = Score(res.Real, candidates)
-		point.Reconstructed[h.Name()] = Summarize(candidates)
+	type score struct {
+		name    string
+		matched Accuracy
+		exists  Accuracy
+		recon   SessionStats
+		err     error
+	}
+	hs := build(g)
+	n := len(hs)
+	if cfg.IncludeReferrer {
+		n++
+	}
+	scores := make([]score, n) // one preallocated slot per goroutine: no shared writes
+	var wg sync.WaitGroup
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h heuristics.Reconstructor) {
+			defer wg.Done()
+			candidates := heuristics.ReconstructAll(h, streams)
+			scores[i] = score{
+				name:    h.Name(),
+				matched: ScoreMatched(res.Real, candidates),
+				exists:  Score(res.Real, candidates),
+				recon:   Summarize(candidates),
+			}
+		}(i, h)
 	}
 	if cfg.IncludeReferrer {
-		r := referrer.New(g)
-		chain, err := r.Reconstruct(res.LogCombined(g))
-		if err != nil {
-			return nil, err
-		}
-		point.Matched[r.Name()] = ScoreMatched(res.Real, chain)
-		point.Exists[r.Name()] = Score(res.Real, chain)
-		point.Reconstructed[r.Name()] = Summarize(chain)
+		ref := &scores[n-1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := referrer.New(g)
+			chain, err := r.Reconstruct(res.LogCombined(g))
+			if err != nil {
+				ref.err = err
+				return
+			}
+			*ref = score{
+				name:    r.Name(),
+				matched: ScoreMatched(res.Real, chain),
+				exists:  Score(res.Real, chain),
+				recon:   Summarize(chain),
+			}
+		}()
 	}
+	wg.Wait()
+	for _, s := range scores {
+		if s.err != nil {
+			return nil, s.err
+		}
+		point.Matched[s.name] = s.matched
+		point.Exists[s.name] = s.exists
+		point.Reconstructed[s.name] = s.recon
+	}
+	metricPointsDone.Inc()
 	return point, nil
 }
 
-// SeriesNames returns the heuristic names present in the point, in report
-// order: the paper's four, then the optional referrer upper bound.
+// SeriesNames returns the heuristic names actually present in the point, in
+// report order: the paper's four first (those that were evaluated), then any
+// extras — custom heuristics, the referrer upper bound "heurR" — sorted for
+// determinism. An empty point falls back to the paper's four.
 func (p *PointResult) SeriesNames() []string {
-	names := append([]string(nil), HeuristicNames...)
-	if _, ok := p.Matched["heurR"]; ok {
-		names = append(names, "heurR")
+	present := make(map[string]bool, len(p.Matched))
+	for name := range p.Matched {
+		present[name] = true
 	}
-	return names
+	return orderSeries(present)
+}
+
+// orderSeries sorts a set of series names into report order: paper names
+// first (in HeuristicNames order), extras after, alphabetically. An empty set
+// yields the paper's four, so zero-value points still render a header.
+func orderSeries(present map[string]bool) []string {
+	if len(present) == 0 {
+		return append([]string(nil), HeuristicNames...)
+	}
+	names := make([]string, 0, len(present))
+	for _, h := range HeuristicNames {
+		if present[h] {
+			names = append(names, h)
+		}
+	}
+	paper := make(map[string]bool, len(HeuristicNames))
+	for _, h := range HeuristicNames {
+		paper[h] = true
+	}
+	extras := make([]string, 0, len(present))
+	for name := range present {
+		if !paper[name] {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	return append(names, extras...)
 }
 
 // roundTripCLF renders the run as a CLF log and rebuilds the streams through
@@ -222,11 +321,41 @@ type SweepResult struct {
 	Points     []PointResult
 }
 
-// Run executes the sweep sequentially (each point already parallelizes
-// across agents internally).
+// RunOptions tunes sweep execution. The zero value runs on all cores with no
+// progress reporting.
+type RunOptions struct {
+	// Workers bounds the number of points evaluated concurrently; <= 0 means
+	// GOMAXPROCS. Worker count never changes results: points are seeded
+	// independently, so any schedule produces bit-identical PointResults.
+	Workers int
+	// Progress, when non-nil, is called after each point completes with the
+	// number done so far and the total. Calls are serialized (never
+	// concurrent) but arrive in completion order, not sweep order.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective pool size for n tasks.
+func (o RunOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes the sweep sequentially — the bit-for-bit reference for
+// RunWith, which parallelizes it.
 func (e Experiment) Run() (*SweepResult, error) {
-	out := &SweepResult{Experiment: e}
-	for _, v := range e.Values {
+	return e.RunWith(RunOptions{Workers: 1})
+}
+
+// pointConfigs expands the sweep into one RunConfig per swept value.
+func (e Experiment) pointConfigs() ([]RunConfig, error) {
+	cfgs := make([]RunConfig, len(e.Values))
+	for i, v := range e.Values {
 		cfg := e.Base
 		switch e.Variable {
 		case "STP":
@@ -238,12 +367,67 @@ func (e Experiment) Run() (*SweepResult, error) {
 		default:
 			return nil, fmt.Errorf("eval: unknown sweep variable %q", e.Variable)
 		}
-		point, err := EvaluatePoint(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s at %s=%.2f: %w", e.Name, e.Variable, v, err)
-		}
-		point.X = v
-		out.Points = append(out.Points, *point)
+		cfgs[i] = cfg
 	}
-	return out, nil
+	return cfgs, nil
+}
+
+// RunWith executes the sweep under a bounded worker pool. The topology is
+// generated once (the swept variables only affect agent behavior, and
+// topology generation is seeded independently — see RunConfig.TopologySeed)
+// and shared read-only by every point. Results are identical to Run's for
+// any worker count; on error the lowest-indexed failing point's error is
+// returned.
+func (e Experiment) RunWith(opts RunOptions) (*SweepResult, error) {
+	cfgs, err := e.pointConfigs()
+	if err != nil {
+		return nil, err
+	}
+	g, err := Topology(e.Base)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]PointResult, len(cfgs))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		done     int
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(cfgs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				point, err := EvaluatePointOn(g, cfgs[i])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil || i < errIdx {
+						firstErr = fmt.Errorf("eval: %s at %s=%.2f: %w",
+							e.Name, e.Variable, e.Values[i], err)
+						errIdx = i
+					}
+				} else {
+					point.X = e.Values[i]
+					points[i] = *point
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(cfgs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cfgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &SweepResult{Experiment: e, Points: points}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"smartsra/internal/stats"
 )
@@ -14,6 +15,9 @@ import (
 type ReplicateResult struct {
 	// Seeds are the simulation seeds used, in order.
 	Seeds []int64
+	// Names are the heuristic series actually evaluated, in report order
+	// (paper names first, extras such as "heurR" or custom heuristics after).
+	Names []string
 	// Matched maps heuristic name to the summary of matched-accuracy
 	// percentages across seeds.
 	Matched map[string]stats.Summary
@@ -23,43 +27,120 @@ type ReplicateResult struct {
 }
 
 // Replicate runs EvaluatePoint once per seed and summarizes the spread. At
-// least one seed is required.
+// least one seed is required. It is the sequential reference for
+// ReplicateWith, which parallelizes it.
 func Replicate(cfg RunConfig, seeds []int64) (*ReplicateResult, error) {
+	return ReplicateWith(cfg, seeds, RunOptions{Workers: 1})
+}
+
+// ReplicateWith is Replicate under a bounded worker pool: the topology is
+// generated once and shared read-only, and seeds are evaluated concurrently.
+// Results are identical to Replicate's for any worker count. The summarized
+// series are the heuristics the points actually evaluated — including
+// custom cfg.Heuristics sets and the cfg.IncludeReferrer upper bound — not
+// a hardcoded list.
+func ReplicateWith(cfg RunConfig, seeds []int64, opts RunOptions) (*ReplicateResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("eval: no seeds to replicate over")
 	}
-	matched := make(map[string][]float64)
-	exists := make(map[string][]float64)
-	for _, seed := range seeds {
-		c := cfg
-		c.Params.Seed = seed
-		point, err := EvaluatePoint(c)
-		if err != nil {
-			return nil, fmt.Errorf("eval: replicate seed %d: %w", seed, err)
+	g, err := Topology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]*PointResult, len(seeds))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		done     int
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(seeds)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Params.Seed = seeds[i]
+				point, err := EvaluatePointOn(g, c)
+				if err == nil {
+					metricSeedsDone.Inc()
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil || i < errIdx {
+						firstErr = fmt.Errorf("eval: replicate seed %d: %w", seeds[i], err)
+						errIdx = i
+					}
+				} else {
+					points[i] = point
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(seeds))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Derive the series from the evaluated points' actual keys: every point
+	// runs the same configuration, but take the union for robustness.
+	present := make(map[string]bool)
+	for _, p := range points {
+		for name := range p.Matched {
+			present[name] = true
 		}
-		for _, h := range HeuristicNames {
-			matched[h] = append(matched[h], point.Matched[h].Percent())
-			exists[h] = append(exists[h], point.Exists[h].Percent())
+	}
+	names := orderSeries(present)
+	matched := make(map[string][]float64, len(names))
+	exists := make(map[string][]float64, len(names))
+	for _, p := range points { // seed order, so summaries are seed-ordered
+		for _, h := range names {
+			matched[h] = append(matched[h], p.Matched[h].Percent())
+			exists[h] = append(exists[h], p.Exists[h].Percent())
 		}
 	}
 	out := &ReplicateResult{
 		Seeds:   append([]int64(nil), seeds...),
-		Matched: make(map[string]stats.Summary),
-		Exists:  make(map[string]stats.Summary),
+		Names:   names,
+		Matched: make(map[string]stats.Summary, len(names)),
+		Exists:  make(map[string]stats.Summary, len(names)),
 	}
-	for _, h := range HeuristicNames {
+	for _, h := range names {
 		out.Matched[h] = stats.Summarize(matched[h])
 		out.Exists[h] = stats.Summarize(exists[h])
 	}
 	return out, nil
 }
 
-// WriteTable renders the replication as mean ± 95% CI per heuristic.
+// names returns the report-order series, falling back to the summarized map
+// keys (sorted) for results built before Names existed.
+func (r *ReplicateResult) names() []string {
+	if len(r.Names) > 0 {
+		return r.Names
+	}
+	present := make(map[string]bool, len(r.Matched))
+	for name := range r.Matched {
+		present[name] = true
+	}
+	return orderSeries(present)
+}
+
+// WriteTable renders the replication as mean ± 95% CI per evaluated series.
 func (r *ReplicateResult) WriteTable(w io.Writer) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "replicated over %d seeds — accuracy %% mean ± 95%% CI\n", len(r.Seeds))
 	fmt.Fprintf(&sb, "%-8s %-22s %s\n", "", "matched", "exists")
-	for _, h := range HeuristicNames {
+	for _, h := range r.names() {
 		m, e := r.Matched[h], r.Exists[h]
 		fmt.Fprintf(&sb, "%-8s %6.2f ± %-13.2f %6.2f ± %.2f\n",
 			h, m.Mean, m.CI95(), e.Mean, e.CI95())

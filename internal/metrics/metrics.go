@@ -1,0 +1,225 @@
+// Package metrics provides tiny, dependency-free runtime instrumentation
+// for the pipeline's hot layers: atomic counters and timers registered by
+// name in a Registry, a sorted text snapshot for logs and CLIs, and an
+// http.Handler suitable for a /debug/metrics endpoint.
+//
+// Counters and timers are safe for concurrent use and designed to sit on
+// hot paths: call sites hold the *Counter / *Timer returned by a one-time
+// lookup instead of resolving the name per event.
+//
+//	var processed = metrics.GetCounter("core.pipeline.records")
+//	...
+//	processed.Add(int64(len(records)))
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be zero; negative deltas are not meaningful but are not
+// rejected, to keep the hot path branch-free).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates observed durations: event count and total elapsed time.
+type Timer struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one event of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.nanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// Mean returns the average observed duration (zero when empty).
+func (t *Timer) Mean() time.Duration {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.nanos.Load() / n)
+}
+
+// Registry is a named set of counters and timers. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// GetCounter returns the counter registered under name, creating it on first
+// use. The returned pointer is stable; cache it at the call site.
+func (r *Registry) GetCounter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// GetTimer returns the timer registered under name, creating it on first use.
+func (r *Registry) GetTimer(name string) *Timer {
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// TimerStats is a timer's state at snapshot time.
+type TimerStats struct {
+	Count int64
+	Total time.Duration
+}
+
+// Mean returns the average duration (zero when empty).
+func (s TimerStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's values.
+type Snapshot struct {
+	Counters map[string]int64
+	Timers   map[string]TimerStats
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Timers:   make(map[string]TimerStats, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerStats{Count: t.Count(), Total: t.Total()}
+	}
+	return s
+}
+
+// Reset zeroes every registered metric (the registry keeps its names, so
+// cached pointers stay valid). Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.nanos.Store(0)
+	}
+}
+
+// WriteText renders the snapshot as sorted "name value" lines, counters
+// first, e.g.:
+//
+//	counter clf.scanner.malformed 3
+//	timer   eval.point count=40 total=12.4s mean=310ms
+func (s Snapshot) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "counter %s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.Timers[name]
+		fmt.Fprintf(&sb, "timer   %s count=%d total=%s mean=%s\n",
+			name, t.Count, t.Total.Round(time.Microsecond), t.Mean().Round(time.Microsecond))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the snapshot as WriteText does.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	s.WriteText(&sb)
+	return sb.String()
+}
+
+// Handler serves the registry's current snapshot as plain text — mount it at
+// /debug/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Snapshot().WriteText(w)
+	})
+}
+
+// Default is the process-wide registry the package-level helpers use.
+var Default = NewRegistry()
+
+// GetCounter returns a counter from the Default registry.
+func GetCounter(name string) *Counter { return Default.GetCounter(name) }
+
+// GetTimer returns a timer from the Default registry.
+func GetTimer(name string) *Timer { return Default.GetTimer(name) }
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return Default.Handler() }
