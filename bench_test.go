@@ -457,6 +457,75 @@ func BenchmarkApplicationPrefetch(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatePoint measures one full evaluation point — simulate,
+// reconstruct with all four heuristics, score under both metrics — at bench
+// scale (250 agents). This is the latency floor of every sweep: cmd/evaluate
+// runs one of these per swept value. The sharded variant partitions the
+// per-user reconstruction and matching across a bounded worker budget; on
+// >=4 cores it should show a >=2x wall-clock speedup over workers=1 while
+// producing bit-identical results (pinned by TestEvaluatePointWithBudgets).
+func BenchmarkEvaluatePoint(b *testing.B) {
+	cfg := benchConfig()
+	g, err := eval.Topology(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var sessions int
+			for i := 0; i < b.N; i++ {
+				p, err := eval.EvaluatePointWith(g, cfg, eval.RunOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions = p.RealSessions
+			}
+			b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+		})
+	}
+}
+
+// BenchmarkScoreMatched measures the one-to-one matching scorer over one
+// Table 5 workload's Smart-SRA candidates. Pages are precomputed once per
+// session per call (not per Captures probe), so allocs/op stays flat in the
+// probe count.
+func BenchmarkScoreMatched(b *testing.B) {
+	params := simulator.PaperParams()
+	params.Agents = 250
+	g, res := benchWorkload(b, webgraph.PaperTopology(), params)
+	cands := heuristics.ReconstructAll(heuristics.NewSmartSRA(g), res.Streams)
+	b.ReportAllocs()
+	var acc eval.Accuracy
+	for i := 0; i < b.N; i++ {
+		acc = eval.ScoreMatched(res.Real, cands)
+	}
+	b.ReportMetric(acc.Percent(), "acc%")
+	b.ReportMetric(float64(acc.Real)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkSmartSRAPhase2 measures Smart-SRA reconstruction throughput over
+// one Table 5 workload — dominated by the Phase-2 wave construction and the
+// maximality filter, the two allocation hot spots the per-reconstruction
+// scratch buffers and the length-bucketed MaximalOnly eliminate.
+func BenchmarkSmartSRAPhase2(b *testing.B) {
+	params := simulator.PaperParams()
+	params.Agents = 250
+	g, res := benchWorkload(b, webgraph.PaperTopology(), params)
+	h := heuristics.NewSmartSRA(g)
+	var entries int
+	for _, st := range res.Streams {
+		entries += len(st.Entries)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(entries))
+	var sessions int
+	for i := 0; i < b.N; i++ {
+		sessions = len(heuristics.ReconstructAll(h, res.Streams))
+	}
+	b.ReportMetric(float64(sessions)*float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
 // BenchmarkHeuristicThroughput measures raw reconstruction throughput of
 // each heuristic over one Table 5 workload (streams/second scale check).
 func BenchmarkHeuristicThroughput(b *testing.B) {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"smartsra/internal/eval"
+)
+
+// pointBench is the JSON record -benchjson emits: one self-benchmark of a
+// full evaluation point (simulate, reconstruct with every heuristic, score
+// under both metrics) at the configured -agents scale and -workers budget.
+// CI runs this and uploads the file; EXPERIMENTS.md tracks the trajectory.
+type pointBench struct {
+	Name           string  `json:"name"`
+	Agents         int     `json:"agents"`
+	Workers        int     `json:"workers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	RealSessions   int     `json:"real_sessions"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+}
+
+// runBenchJSON benchmarks EvaluatePointWith on the given configuration and
+// writes the measurement as JSON to path ("-" for stdout). The human-readable
+// line goes to stderr so the JSON artifact stays clean.
+func runBenchJSON(base eval.RunConfig, workers int, path string) error {
+	g, err := eval.Topology(base)
+	if err != nil {
+		return err
+	}
+	opts := eval.RunOptions{Workers: workers}
+	// Warm up once: pools fill, code paths JIT into the branch predictor, and
+	// the topology's caches (start pages, successor lists) are touched.
+	warm, err := eval.EvaluatePointWith(g, base, opts)
+	if err != nil {
+		return err
+	}
+
+	// Iterate until the measurement window is comfortably above timer noise,
+	// with a floor so fast configurations still average several runs.
+	const (
+		minIters  = 5
+		minWindow = 2 * time.Second
+		maxIters  = 200
+	)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for (time.Since(start) < minWindow || iters < minIters) && iters < maxIters {
+		if _, err := eval.EvaluatePointWith(g, base, opts); err != nil {
+			return err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	b := pointBench{
+		Name:           "EvaluatePoint",
+		Agents:         base.Params.Agents,
+		Workers:        effWorkers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Iterations:     iters,
+		NsPerOp:        elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp:    int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:     int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		RealSessions:   warm.RealSessions,
+		SessionsPerSec: float64(warm.RealSessions) * float64(iters) / elapsed.Seconds(),
+	}
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+	} else {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: %d iters, %.1fms/op, %d allocs/op, %.0f sessions/s (workers=%d, GOMAXPROCS=%d)\n",
+		b.Iterations, float64(b.NsPerOp)/1e6, b.AllocsPerOp, b.SessionsPerSec,
+		b.Workers, b.GOMAXPROCS)
+	return nil
+}

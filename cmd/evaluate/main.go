@@ -14,6 +14,11 @@
 // -progress reports per-point completion and a final metrics snapshot on
 // stderr, leaving stdout byte-identical.
 //
+// -benchjson FILE switches to self-benchmark mode: instead of sweeping, one
+// evaluation point is timed repeatedly at the configured -agents scale and
+// the measurement (ns/op, allocs/op, sessions/sec) is written as JSON —
+// the data behind BENCH_point.json and the CI bench artifact.
+//
 // Accuracy is reported under both readings of the paper's §5.1 metric:
 // matched (one-to-one, headline) and exists (any capturer counts); see
 // EXPERIMENTS.md.
@@ -46,17 +51,19 @@ func main() {
 		withRef    = flag.Bool("include-referrer", false, "also evaluate the referrer-chain upper bound (heurR)")
 		workers    = flag.Int("workers", 0, "concurrent sweep points (<=0: all cores; 1: sequential)")
 		progress   = flag.Bool("progress", false, "report per-point progress and a metrics snapshot on stderr")
+		benchjson  = flag.String("benchjson", "", "benchmark one evaluation point and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
 	)
 	flag.Parse()
 	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir,
-		*stats, *viaCLF, *withRef, *workers, *progress); err != nil {
+		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
 func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
-	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool) error {
+	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool,
+	benchjson string) error {
 	base := eval.PaperDefaults()
 	base.Params.Agents = agents
 	base.Params.Seed = seed
@@ -64,6 +71,10 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 	base.Topology.AvgOutDegree = outdeg
 	base.ViaCLF = viaCLF
 	base.IncludeReferrer = withRef
+
+	if benchjson != "" {
+		return runBenchJSON(base, workers, benchjson)
+	}
 
 	start := time.Now()
 	if progress {

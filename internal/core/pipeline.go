@@ -31,6 +31,12 @@ var (
 	metricPipelineSessions = metrics.GetCounter("core.pipeline.sessions")
 	metricTailRecords      = metrics.GetCounter("core.tail.records")
 	metricTailSessions     = metrics.GetCounter("core.tail.sessions")
+	// metricTailBuffered tracks entries currently buffered in open bursts —
+	// the streaming processor's memory exposure. metricTailMaxDepth is the
+	// high watermark of any single user's burst depth, the signal that one
+	// user (e.g. a merged proxy identity) is accumulating without closing.
+	metricTailBuffered = metrics.GetGauge("core.tail.buffered.entries")
+	metricTailMaxDepth = metrics.GetGauge("core.tail.buffered.maxdepth")
 )
 
 // Config assembles a Pipeline. Graph is required; everything else has

@@ -26,10 +26,11 @@ import (
 // Tail is not safe for concurrent use; wrap it in a mutex if multiple
 // goroutines feed it.
 type Tail struct {
-	cfg     Config
-	rho     time.Duration
-	buffers map[string]*burst
-	stats   Stats
+	cfg      Config
+	rho      time.Duration
+	buffers  map[string]*burst
+	buffered int // entries currently held in open bursts, across all users
+	stats    Stats
 }
 
 // burst is one user's open request run.
@@ -81,11 +82,18 @@ func (t *Tail) Push(rec clf.Record) []session.Session {
 		out = t.close(user, b)
 	}
 	b.entries = append(b.entries, session.Entry{Page: page, Time: rec.Time})
+	t.buffered++
+	metricTailBuffered.Add(1)
+	metricTailMaxDepth.SetMax(int64(len(b.entries)))
 	if rec.Time.After(b.last) {
 		b.last = rec.Time
 	}
 	return out
 }
+
+// Buffered returns the number of entries currently held in open bursts —
+// the streaming processor's in-memory backlog across all users.
+func (t *Tail) Buffered() int { return t.buffered }
 
 // Expire finalizes every user whose last request is more than ρ before now,
 // returning their sessions. Call it periodically when tailing a live log so
@@ -130,6 +138,8 @@ func (t *Tail) Stats() Stats { return t.stats }
 func (t *Tail) close(user string, b *burst) []session.Session {
 	entries := b.entries
 	b.entries = nil
+	t.buffered -= len(entries)
+	metricTailBuffered.Add(-int64(len(entries)))
 	// Out-of-order arrivals within the burst (merged proxy logs, clock
 	// skew) are sorted here; cross-burst reordering beyond ρ is a log
 	// defect the caller owns.

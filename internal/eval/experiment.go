@@ -23,6 +23,7 @@ var (
 	metricPointsDone = metrics.GetCounter("eval.points.completed")
 	metricSeedsDone  = metrics.GetCounter("eval.seeds.completed")
 	metricPointTime  = metrics.GetTimer("eval.point")
+	metricPointHist  = metrics.GetHistogram("eval.point.seconds")
 )
 
 // HeuristicNames lists the four heuristics in the paper's order.
@@ -110,12 +111,34 @@ func EvaluatePoint(cfg RunConfig) (*PointResult, error) {
 }
 
 // EvaluatePointOn is EvaluatePoint over an already-generated topology. The
-// graph is only read, never written, so many points may share one. The
-// heuristics (and the optional referrer chain) are scored concurrently; the
-// result is identical to scoring them in sequence because each writes a
-// distinct key and scoring is a pure function of (real sessions, candidates).
+// graph is only read, never written, so many points may share one. It runs
+// under the full-machine worker budget; see EvaluatePointWith.
 func EvaluatePointOn(g *webgraph.Graph, cfg RunConfig) (*PointResult, error) {
-	defer func(start time.Time) { metricPointTime.Observe(time.Since(start)) }(time.Now())
+	return EvaluatePointWith(g, cfg, RunOptions{})
+}
+
+// EvaluatePointWith is EvaluatePointOn under an explicit worker budget
+// (opts.Workers; <= 0 means GOMAXPROCS). The budget caps the TOTAL
+// concurrency of the point — the scorer pool (one task per heuristic, plus
+// the optional referrer chain) and the per-user shards inside each scorer
+// (heuristics.ReconstructAllWith, ScoreMatchedWith) compose multiplicatively
+// to at most the budget, and the agent simulator inherits it too, so nesting
+// points inside a sweep pool never oversubscribes the machine. The result is
+// bit-identical for any budget: scorers write distinct keys, per-user work
+// is order-independent, and the simulator seeds agents independently.
+func EvaluatePointWith(g *webgraph.Graph, cfg RunConfig, opts RunOptions) (*PointResult, error) {
+	defer func(start time.Time) {
+		d := time.Since(start)
+		metricPointTime.Observe(d)
+		metricPointHist.ObserveDuration(d)
+	}(time.Now())
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Params.Workers == 0 {
+		cfg.Params.Workers = budget
+	}
 	res, err := simulator.Run(g, cfg.Params)
 	if err != nil {
 		return nil, err
@@ -149,26 +172,34 @@ func EvaluatePointOn(g *webgraph.Graph, cfg RunConfig) (*PointResult, error) {
 	if cfg.IncludeReferrer {
 		n++
 	}
-	scores := make([]score, n) // one preallocated slot per goroutine: no shared writes
-	var wg sync.WaitGroup
+	// Split the budget: up to n scorers run concurrently, each sharding its
+	// per-user work across budget/scorers workers, so scorers × shards stays
+	// within the cap.
+	scorers := n
+	if scorers > budget {
+		scorers = budget
+	}
+	shards := budget / scorers
+	if shards < 1 {
+		shards = 1
+	}
+	scores := make([]score, n) // one preallocated slot per task: no shared writes
+	tasks := make([]func(), 0, n)
 	for i, h := range hs {
-		wg.Add(1)
-		go func(i int, h heuristics.Reconstructor) {
-			defer wg.Done()
-			candidates := heuristics.ReconstructAll(h, streams)
+		i, h := i, h
+		tasks = append(tasks, func() {
+			candidates := heuristics.ReconstructAllWith(h, streams, shards)
 			scores[i] = score{
 				name:    h.Name(),
-				matched: ScoreMatched(res.Real, candidates),
+				matched: ScoreMatchedWith(res.Real, candidates, shards),
 				exists:  Score(res.Real, candidates),
 				recon:   Summarize(candidates),
 			}
-		}(i, h)
+		})
 	}
 	if cfg.IncludeReferrer {
 		ref := &scores[n-1]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		tasks = append(tasks, func() {
 			r := referrer.New(g)
 			chain, err := r.Reconstruct(res.LogCombined(g))
 			if err != nil {
@@ -177,13 +208,34 @@ func EvaluatePointOn(g *webgraph.Graph, cfg RunConfig) (*PointResult, error) {
 			}
 			*ref = score{
 				name:    r.Name(),
-				matched: ScoreMatched(res.Real, chain),
+				matched: ScoreMatchedWith(res.Real, chain, shards),
 				exists:  Score(res.Real, chain),
 				recon:   Summarize(chain),
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	if scorers <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < scorers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					tasks[i]()
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
 	for _, s := range scores {
 		if s.err != nil {
 			return nil, s.err
@@ -346,6 +398,27 @@ func (o RunOptions) workers(n int) int {
 	return w
 }
 
+// split divides the total worker budget between a pool of n top-level tasks
+// and the budget each concurrently-running task receives, so that
+// pool × per-task concurrency never exceeds the total. With fewer tasks
+// than budget the leftover goes to within-task sharding (e.g. a 3-point
+// sweep on 8 cores runs 3 points × 2-way shards).
+func (o RunOptions) split(n int) (pool, perTask int) {
+	total := o.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	pool = o.workers(n)
+	if pool < 1 {
+		pool = 1
+	}
+	perTask = total / pool
+	if perTask < 1 {
+		perTask = 1
+	}
+	return pool, perTask
+}
+
 // Run executes the sweep sequentially — the bit-for-bit reference for
 // RunWith, which parallelizes it.
 func (e Experiment) Run() (*SweepResult, error) {
@@ -375,7 +448,10 @@ func (e Experiment) pointConfigs() ([]RunConfig, error) {
 // RunWith executes the sweep under a bounded worker pool. The topology is
 // generated once (the swept variables only affect agent behavior, and
 // topology generation is seeded independently — see RunConfig.TopologySeed)
-// and shared read-only by every point. Results are identical to Run's for
+// and shared read-only by every point. The worker budget covers the whole
+// sweep: concurrent points split it, and each point shards its per-user
+// reconstruction and scoring across its share (EvaluatePointWith), so
+// points × shards never oversubscribes. Results are identical to Run's for
 // any worker count; on error the lowest-indexed failing point's error is
 // returned.
 func (e Experiment) RunWith(opts RunOptions) (*SweepResult, error) {
@@ -394,14 +470,16 @@ func (e Experiment) RunWith(opts RunOptions) (*SweepResult, error) {
 		errIdx   int
 		done     int
 	)
+	pool, perPoint := opts.split(len(cfgs))
+	pointOpts := RunOptions{Workers: perPoint}
 	next := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(len(cfgs)); w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				point, err := EvaluatePointOn(g, cfgs[i])
+				point, err := EvaluatePointWith(g, cfgs[i], pointOpts)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil || i < errIdx {

@@ -1,7 +1,12 @@
 package eval
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
 )
 
 // ScoreMatched computes accuracy under one-to-one matching: each
@@ -23,72 +28,180 @@ import (
 // paper's ordering and levels. See DESIGN.md and EXPERIMENTS.md; Score keeps
 // the literal unconstrained metric for comparison.
 func ScoreMatched(real, candidates []session.Session) Accuracy {
-	type userData struct {
-		realIdx []int
-		cands   []session.Session
-	}
-	users := make(map[string]*userData)
-	for i, r := range real {
+	return ScoreMatchedWith(real, candidates, 1)
+}
+
+// matchProblem is one user's bipartite matching instance. Page sequences
+// are extracted once here — not once per Captures probe — so the matcher's
+// inner loop is allocation-free.
+type matchProblem struct {
+	realPages [][]webgraph.PageID
+	candPages [][]webgraph.PageID
+}
+
+// ScoreMatchedWith is ScoreMatched sharded across a bounded worker pool:
+// users are independent matching problems, so they are partitioned over
+// min(workers, users) goroutines and the per-user matching sizes summed.
+// Maximum-matching size is unique, and integer addition commutes, so the
+// result is identical to the sequential computation for any worker count.
+// workers <= 0 means GOMAXPROCS; workers == 1 (or a single user) runs
+// inline with no goroutines.
+func ScoreMatchedWith(real, candidates []session.Session, workers int) Accuracy {
+	users := make(map[string]*matchProblem)
+	order := make([]*matchProblem, 0, len(users))
+	for _, r := range real {
 		u := users[r.User]
 		if u == nil {
-			u = &userData{}
+			u = &matchProblem{}
 			users[r.User] = u
+			order = append(order, u)
 		}
-		u.realIdx = append(u.realIdx, i)
+		u.realPages = append(u.realPages, r.Pages())
 	}
 	for _, h := range candidates {
 		if u := users[h.User]; u != nil {
-			u.cands = append(u.cands, h)
+			u.candPages = append(u.candPages, h.Pages())
 		}
 	}
 	acc := Accuracy{Real: len(real)}
-	for _, u := range users {
-		acc.Captured += matchUser(real, u.realIdx, u.cands)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		var m matcher
+		for _, u := range order {
+			acc.Captured += m.match(u)
+		}
+		return acc
+	}
+	var (
+		next     atomic.Int64
+		captured atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var m matcher // per-worker scratch, reused across users
+			sum := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					break
+				}
+				sum += m.match(order[i])
+			}
+			captured.Add(int64(sum))
+		}()
+	}
+	wg.Wait()
+	acc.Captured = int(captured.Load())
 	return acc
 }
 
-// matchUser computes the maximum matching size between one user's real
-// sessions and the candidates capturing them. Per-user problem sizes are
-// tiny (tens of sessions), so the O(V·E) augmenting-path algorithm is more
-// than fast enough.
-func matchUser(real []session.Session, realIdx []int, cands []session.Session) int {
-	if len(cands) == 0 || len(realIdx) == 0 {
+// matcher computes maximum bipartite matchings, keeping its working buffers
+// across calls so per-user problems allocate only the adjacency lists. It is
+// not safe for concurrent use; give each worker its own.
+type matcher struct {
+	adj       [][]int
+	adjArena  []int
+	matchCand []int
+	seen      []bool
+	stack     []matchFrame
+}
+
+// matchFrame is one level of the explicit augmenting-path DFS: real node i,
+// the next position in adj[i] to try, and the candidate taken to descend.
+type matchFrame struct {
+	i, ai, j int
+}
+
+// match computes the maximum matching size between one user's real sessions
+// and the candidates capturing them. Per-user problem sizes are usually tiny
+// (tens of sessions), but merged proxy users can be arbitrarily large, so
+// the augmenting-path search uses an explicit stack — the recursive
+// formulation overflows the goroutine stack on adversarial instances whose
+// augmenting chains thread through every session (see TestMatchUserDeepChain).
+func (m *matcher) match(u *matchProblem) int {
+	nr, nc := len(u.realPages), len(u.candPages)
+	if nr == 0 || nc == 0 {
 		return 0
 	}
-	// adj[i] lists candidate indices capturing real session realIdx[i].
-	adj := make([][]int, len(realIdx))
-	for i, ri := range realIdx {
-		for j := range cands {
-			if session.Captures(cands[j], real[ri]) {
-				adj[i] = append(adj[i], j)
+	// adj[i] lists candidate indices capturing real session i, packed into
+	// one arena so the lists cost a single allocation.
+	if cap(m.adj) < nr {
+		m.adj = make([][]int, nr)
+	}
+	adj := m.adj[:nr]
+	m.adjArena = m.adjArena[:0]
+	for i, rp := range u.realPages {
+		lo := len(m.adjArena)
+		for j, cp := range u.candPages {
+			if session.ContainsPages(cp, rp) {
+				m.adjArena = append(m.adjArena, j)
 			}
 		}
+		adj[i] = m.adjArena[lo:len(m.adjArena):len(m.adjArena)]
 	}
-	matchCand := make([]int, len(cands)) // candidate -> real (or -1)
+	if cap(m.matchCand) < nc {
+		m.matchCand = make([]int, nc)
+		m.seen = make([]bool, nc)
+	}
+	matchCand := m.matchCand[:nc] // candidate -> real (or -1)
+	seen := m.seen[:nc]
 	for j := range matchCand {
 		matchCand[j] = -1
 	}
-	var tryAssign func(i int, seen []bool) bool
-	tryAssign = func(i int, seen []bool) bool {
-		for _, j := range adj[i] {
-			if seen[j] {
-				continue
-			}
-			seen[j] = true
-			if matchCand[j] < 0 || tryAssign(matchCand[j], seen) {
-				matchCand[j] = i
-				return true
-			}
-		}
-		return false
-	}
 	matched := 0
 	for i := range adj {
-		seen := make([]bool, len(cands))
-		if tryAssign(i, seen) {
+		for j := range seen {
+			seen[j] = false
+		}
+		if m.augment(adj, matchCand, seen, i) {
 			matched++
 		}
 	}
 	return matched
+}
+
+// augment searches for an augmenting path from real node start with an
+// iterative DFS over alternating edges, flipping the path's assignments on
+// success. Semantics match the classic recursive tryAssign exactly: each
+// frame resumes scanning its adjacency list where it left off when a deeper
+// reassignment attempt fails.
+func (m *matcher) augment(adj [][]int, matchCand []int, seen []bool, start int) bool {
+	stack := append(m.stack[:0], matchFrame{i: start})
+	defer func() { m.stack = stack[:0] }()
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		descended := false
+		for f.ai < len(adj[f.i]) {
+			j := adj[f.i][f.ai]
+			f.ai++
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			f.j = j
+			if matchCand[j] < 0 {
+				// Free candidate: flip every (real, candidate) pair on the
+				// path, rooting the augmented matching.
+				for _, g := range stack {
+					matchCand[g.j] = g.i
+				}
+				return true
+			}
+			stack = append(stack, matchFrame{i: matchCand[j]})
+			descended = true
+			break
+		}
+		if !descended && f.ai >= len(adj[f.i]) {
+			stack = stack[:len(stack)-1] // exhausted: backtrack to the parent
+		}
+	}
+	return false
 }

@@ -54,16 +54,18 @@ func ReplicateWith(cfg RunConfig, seeds []int64, opts RunOptions) (*ReplicateRes
 		errIdx   int
 		done     int
 	)
+	pool, perSeed := opts.split(len(seeds))
+	seedOpts := RunOptions{Workers: perSeed}
 	next := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(len(seeds)); w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				c := cfg
 				c.Params.Seed = seeds[i]
-				point, err := EvaluatePointOn(g, c)
+				point, err := EvaluatePointWith(g, c, seedOpts)
 				if err == nil {
 					metricSeedsDone.Inc()
 				}

@@ -93,11 +93,33 @@ func (h SmartSRA) Describe() string {
 		h.Rules.TotalDuration, h.Rules.PageStay, h.Orphans, extra)
 }
 
+// sraScratch holds the reusable working buffers of one reconstruction: the
+// Phase-1 candidate boundaries and Phase-2's wave/tpages/rest/removed and
+// constructed-set header arrays. A fresh scratch is created per Reconstruct
+// call (so SmartSRA stays safe for concurrent use) and reused across every
+// candidate and wave inside it, which removes the per-wave allocation churn
+// of the naive transcription. Only the entry slices of the final sessions —
+// which the caller retains — are freshly allocated.
+type sraScratch struct {
+	bounds   []int             // phase1 candidate start offsets
+	remain   []session.Entry   // Step II working set (ping)
+	rest     []session.Entry   // Step II working set (pong)
+	wave     []bool            // Step I no-remaining-referrer marks
+	tpages   []session.Entry   // the current wave's pages
+	removed  []session.Entry   // entries consumed by earlier waves
+	extended []bool            // Step III extension marks
+	set      [][]session.Entry // constructed-set headers (ping)
+	tset     [][]session.Entry // constructed-set headers (pong)
+}
+
 // Reconstruct implements Reconstructor.
 func (h SmartSRA) Reconstruct(stream session.Stream) []session.Session {
 	var out []session.Session
-	for _, cand := range h.phase1(stream.Entries) {
-		sessions := h.phase2(cand)
+	var scr sraScratch
+	scr.bounds = h.phase1(stream.Entries, scr.bounds[:0])
+	for b := 0; b+1 < len(scr.bounds); b++ {
+		cand := stream.Entries[scr.bounds[b]:scr.bounds[b+1]]
+		sessions := h.phase2(cand, &scr)
 		for _, entries := range sessions {
 			out = append(out, session.Session{User: stream.User, Entries: entries})
 		}
@@ -109,47 +131,51 @@ func (h SmartSRA) Reconstruct(stream session.Stream) []session.Session {
 }
 
 // phase1 splits a request sequence into candidate sessions using the two
-// time-oriented criteria (§3, Phase 1).
-func (h SmartSRA) phase1(entries []session.Entry) [][]session.Entry {
+// time-oriented criteria (§3, Phase 1). Candidates are always contiguous
+// runs of the input, so it appends their boundary offsets to bounds instead
+// of materializing sub-slices: candidate i is entries[bounds[i]:bounds[i+1]].
+func (h SmartSRA) phase1(entries []session.Entry, bounds []int) []int {
 	if len(entries) == 0 {
-		return nil
+		return bounds
 	}
-	if h.SkipPhase1 {
-		return [][]session.Entry{entries}
-	}
-	var out [][]session.Entry
-	var cur []session.Entry
-	for _, e := range entries {
-		if len(cur) > 0 {
+	bounds = append(bounds, 0)
+	if !h.SkipPhase1 {
+		start := 0
+		for i := 1; i < len(entries); i++ {
 			gapBreak := !h.DisablePageStay &&
-				e.Time.Sub(cur[len(cur)-1].Time) > h.Rules.PageStay
+				entries[i].Time.Sub(entries[i-1].Time) > h.Rules.PageStay
 			totalBreak := !h.DisableTotalDuration &&
-				e.Time.Sub(cur[0].Time) > h.Rules.TotalDuration
+				entries[i].Time.Sub(entries[start].Time) > h.Rules.TotalDuration
 			if gapBreak || totalBreak {
-				out = append(out, cur)
-				cur = nil
+				bounds = append(bounds, i)
+				start = i
 			}
 		}
-		cur = append(cur, e)
 	}
-	if len(cur) > 0 {
-		out = append(out, cur)
-	}
-	return out
+	return append(bounds, len(entries))
 }
 
 // phase2 runs the paper's Figure 2 procedure on one candidate session,
-// returning the constructed topology-valid sessions.
-func (h SmartSRA) phase2(cand []session.Entry) [][]session.Entry {
-	var newSet [][]session.Entry
-	remaining := append([]session.Entry(nil), cand...)
-	var removed []session.Entry // entries consumed by earlier waves
+// returning the constructed topology-valid sessions. The returned outer
+// slice aliases scratch storage and is only valid until the next phase2
+// call on the same scratch; its element slices are freshly allocated and
+// safe to retain.
+func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entry {
+	remaining := append(scr.remain[:0], cand...)
+	rest := scr.rest[:0]
+	newSet := scr.set[:0]
+	removed := scr.removed[:0] // entries consumed by earlier waves
 	for len(remaining) > 0 {
 		// Step I: collect pages with no remaining referrer — no EARLIER
 		// entry (strictly smaller timestamp, within ρ) links to them. See
 		// DESIGN.md for the j>i / j<i pseudocode typo note; this reading
 		// matches the paper's worked example (Table 4).
-		wave := make([]bool, len(remaining))
+		wave := scr.wave
+		if cap(wave) < len(remaining) {
+			wave = make([]bool, len(remaining))
+			scr.wave = wave
+		}
+		wave = wave[:len(remaining)]
 		for i, e := range remaining {
 			start := true
 			for j := 0; j < i; j++ {
@@ -163,8 +189,8 @@ func (h SmartSRA) phase2(cand []session.Entry) [][]session.Entry {
 			}
 			wave[i] = start
 		}
-		var tpages []session.Entry
-		var rest []session.Entry
+		tpages := scr.tpages[:0]
+		rest = rest[:0]
 		for i, e := range remaining {
 			if wave[i] {
 				tpages = append(tpages, e)
@@ -172,21 +198,30 @@ func (h SmartSRA) phase2(cand []session.Entry) [][]session.Entry {
 				rest = append(rest, e)
 			}
 		}
+		scr.tpages = tpages
 		// The earliest remaining entry always qualifies, so progress is
 		// guaranteed.
-		remaining = rest // Step II
+		remaining, rest = rest, remaining // Step II (swap ping/pong buffers)
 
 		// Step III: extend the constructed sessions.
 		if len(newSet) == 0 {
-			newSet = append(newSet, h.inferredBacktracks(tpages, removed)...)
+			newSet = h.appendInferredBacktracks(newSet, tpages, removed)
 			for _, e := range tpages {
 				newSet = append(newSet, []session.Entry{e})
 			}
 			removed = append(removed, tpages...)
 			continue
 		}
-		var tset [][]session.Entry
-		extended := make([]bool, len(newSet))
+		tset := scr.tset[:0]
+		extended := scr.extended
+		if cap(extended) < len(newSet) {
+			extended = make([]bool, len(newSet))
+			scr.extended = extended
+		}
+		extended = extended[:len(newSet)]
+		for k := range extended {
+			extended[k] = false
+		}
 		for _, e := range tpages {
 			attached := false
 			for k, sess := range newSet {
@@ -206,34 +241,38 @@ func (h SmartSRA) phase2(cand []session.Entry) [][]session.Entry {
 				tset = append(tset, []session.Entry{e})
 			}
 		}
-		tset = append(tset, h.inferredBacktracks(tpages, removed)...)
+		tset = h.appendInferredBacktracks(tset, tpages, removed)
 		for k, sess := range newSet {
 			if !extended[k] {
 				tset = append(tset, sess)
 			}
 		}
-		newSet = tset
+		newSet, tset = tset, newSet // swap ping/pong header buffers
+		scr.set, scr.tset = newSet, tset[:0]
 		removed = append(removed, tpages...)
+	}
+	scr.remain, scr.rest, scr.removed = remaining, rest, removed
+	if len(newSet) > 0 {
+		scr.set = newSet
 	}
 	return newSet
 }
 
-// inferredBacktracks opens [B, e] sessions for every consumed referrer B of
-// each wave page e (see InferBacktracks). Referrers still inside the
-// candidate cannot qualify: e would not be in the wave then.
-func (h SmartSRA) inferredBacktracks(tpages, removed []session.Entry) [][]session.Entry {
+// appendInferredBacktracks appends a [B, e] session for every consumed
+// referrer B of each wave page e (see InferBacktracks). Referrers still
+// inside the candidate cannot qualify: e would not be in the wave then.
+func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, tpages, removed []session.Entry) [][]session.Entry {
 	if !h.InferBacktracks {
-		return nil
+		return dst
 	}
-	var out [][]session.Entry
 	for _, e := range tpages {
 		for _, b := range removed {
 			if b.Time.Before(e.Time) &&
 				e.Time.Sub(b.Time) <= h.Rules.PageStay &&
 				h.Graph.HasEdge(b.Page, e.Page) {
-				out = append(out, []session.Entry{b, e})
+				dst = append(dst, []session.Entry{b, e})
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.GetGauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+	g.SetMax(5) // below current: no-op
+	if g.Value() != 7 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.SetMax(12)
+	if g.Value() != 12 {
+		t.Errorf("SetMax = %d, want 12", g.Value())
+	}
+	if r.GetGauge("depth") != g {
+		t.Error("GetGauge not stable for same name")
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.GetGauge("hw")
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				g.SetMax(int64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != goroutines*per {
+		t.Errorf("high watermark = %d, want %d", g.Value(), goroutines*per)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogramBuckets("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-52.65) > 1e-9 {
+		t.Errorf("Sum = %v", got)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Bucket semantics are le: an observation equal to a bound lands in it.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Mean() != 52.65/5 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Quantiles interpolate within buckets and clamp the +Inf overflow to
+	// the last finite bound.
+	if q := s.Quantile(0.99); q != 10 {
+		t.Errorf("p99 = %v, want clamp to 10", q)
+	}
+	if q := s.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("p50 = %v out of its bucket", q)
+	}
+	if empty := (HistogramStats{}); empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram stats must read as zero")
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogramBuckets("h", []float64{1, 2})
+	if again := r.GetHistogramBuckets("h", []float64{5}); again != h {
+		t.Error("re-registration replaced the histogram")
+	}
+	if def := r.GetHistogram("d"); len(def.bounds) != len(DefaultBuckets) {
+		t.Errorf("default bounds = %v", def.bounds)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogram("c")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got, want := h.Sum(), float64(goroutines*per)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotTextIncludesGaugesAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.GetGauge("g").Set(42)
+	r.GetHistogramBuckets("h", []float64{1}).Observe(0.5)
+	text := r.Snapshot().String()
+	if !strings.Contains(text, "gauge   g 42") {
+		t.Errorf("gauge line missing:\n%s", text)
+	}
+	if !strings.Contains(text, "histo   h count=1") {
+		t.Errorf("histogram line missing:\n%s", text)
+	}
+	g := r.GetGauge("g")
+	r.Reset()
+	if g.Value() != 0 || r.GetHistogramBuckets("h", nil).Count() != 0 {
+		t.Error("Reset did not zero gauges/histograms")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter("core.pipeline.records").Add(3)
+	r.GetGauge("core.tail.buffered.entries").Set(9)
+	r.GetTimer("eval.point").Observe(1500 * time.Millisecond)
+	h := r.GetHistogramBuckets("eval.point.seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		"# TYPE core_pipeline_records counter",
+		"core_pipeline_records 3",
+		"# TYPE core_tail_buffered_entries gauge",
+		"core_tail_buffered_entries 9",
+		"eval_point_count 1",
+		"eval_point_seconds_total 1.5",
+		"# TYPE eval_point_seconds histogram",
+		`eval_point_seconds_bucket{le="0.5"} 1`,
+		`eval_point_seconds_bucket{le="1"} 2`,
+		`eval_point_seconds_bucket{le="+Inf"} 3`,
+		"eval_point_seconds_sum 4",
+		"eval_point_seconds_count 3",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"eval.points.completed": "eval_points_completed",
+		"already_fine:x":        "already_fine:x",
+		"weird-name %":          "weird_name__",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter("hits").Add(7)
+	cases := []struct {
+		name, target, accept string
+		wantProm             bool
+	}{
+		{"plain", "/debug/metrics", "", false},
+		{"browser", "/debug/metrics", "text/html", false},
+		{"prom-accept", "/debug/metrics", "text/plain;version=0.0.4", true},
+		{"openmetrics", "/debug/metrics", "application/openmetrics-text", true},
+		{"query", "/debug/metrics?format=prometheus", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", tc.target, nil)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			rec := httptest.NewRecorder()
+			r.Handler().ServeHTTP(rec, req)
+			body := rec.Body.String()
+			ct := rec.Header().Get("Content-Type")
+			if tc.wantProm {
+				if !strings.Contains(ct, "version=0.0.4") {
+					t.Errorf("Content-Type = %q", ct)
+				}
+				if !strings.Contains(body, "# TYPE hits counter") {
+					t.Errorf("body = %q", body)
+				}
+			} else {
+				if strings.Contains(ct, "version=0.0.4") {
+					t.Errorf("Content-Type = %q", ct)
+				}
+				if !strings.Contains(body, "counter hits 7") {
+					t.Errorf("body = %q", body)
+				}
+			}
+		})
+	}
+}

@@ -15,8 +15,10 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,19 +67,100 @@ func (t *Timer) Mean() time.Duration {
 	return time.Duration(t.nanos.Load() / n)
 }
 
-// Registry is a named set of counters and timers. The zero value is not
-// usable; call NewRegistry.
+// Gauge is an instantaneous value that can move both ways (buffer depths,
+// pool sizes, high watermarks).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a lock-free
+// high-watermark update.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets are the histogram bucket upper bounds used when none are
+// given: exponential from 1ms to 100s (in seconds), suited to the
+// point-duration spread the evaluation harness records.
+var DefaultBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram counts observations into cumulative buckets with fixed upper
+// bounds, plus a total count and sum. Observations are lock-free; bounds are
+// immutable after creation.
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds; implicit +Inf last
+	counts  []atomic.Int64 // len(bounds)+1, non-cumulative per bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the conventional unit for
+// time histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry is a named set of counters, gauges, timers, and histograms. The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	timers   map[string]*Timer
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -97,6 +180,50 @@ func (r *Registry) GetCounter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// GetGauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) GetGauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GetHistogram returns the histogram registered under name, creating it with
+// DefaultBuckets on first use. Use GetHistogramBuckets to control the
+// bounds; the first registration wins.
+func (r *Registry) GetHistogram(name string) *Histogram {
+	return r.GetHistogramBuckets(name, nil)
+}
+
+// GetHistogramBuckets returns the histogram registered under name, creating
+// it with the given bucket upper bounds (nil or empty means DefaultBuckets)
+// on first use. An already-registered histogram keeps its original bounds.
+func (r *Registry) GetHistogramBuckets(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
 }
 
 // GetTimer returns the timer registered under name, creating it on first use.
@@ -130,10 +257,68 @@ func (s TimerStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
+// HistogramStats is a histogram's state at snapshot time: the bucket upper
+// bounds, per-bucket (non-cumulative) counts with the +Inf overflow bucket
+// last, and the total count and sum.
+type HistogramStats struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Mean returns the average observed value (zero when empty).
+func (s HistogramStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the containing bucket. Values beyond the
+// last finite bound clamp to it.
+func (s HistogramStats) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: clamp to the last finite bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of a registry's values.
 type Snapshot struct {
-	Counters map[string]int64
-	Timers   map[string]TimerStats
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Timers     map[string]TimerStats
+	Histograms map[string]HistogramStats
 }
 
 // Snapshot copies every metric's current value.
@@ -141,14 +326,31 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
-		Counters: make(map[string]int64, len(r.counters)),
-		Timers:   make(map[string]TimerStats, len(r.timers)),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Timers:     make(map[string]TimerStats, len(r.timers)),
+		Histograms: make(map[string]HistogramStats, len(r.histograms)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
 	for name, t := range r.timers {
 		s.Timers[name] = TimerStats{Count: t.Count(), Total: t.Total()}
+	}
+	for name, h := range r.histograms {
+		hs := HistogramStats{
+			Bounds: h.bounds,
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }
@@ -161,9 +363,19 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
 	for _, t := range r.timers {
 		t.count.Store(0)
 		t.nanos.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
 	}
 }
 
@@ -171,18 +383,26 @@ func (r *Registry) Reset() {
 // first, e.g.:
 //
 //	counter clf.scanner.malformed 3
+//	gauge   core.tail.buffered.entries 117
 //	timer   eval.point count=40 total=12.4s mean=310ms
+//	histo   eval.point.seconds count=40 mean=0.31 p50=0.28 p95=0.52 max<=1
 func (s Snapshot) WriteText(w io.Writer) error {
 	var sb strings.Builder
-	names := make([]string, 0, len(s.Counters))
-	for name := range s.Counters {
-		names = append(names, name)
+	sortedNames := func(m map[string]int64) []string {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedNames(s.Counters) {
 		fmt.Fprintf(&sb, "counter %s %d\n", name, s.Counters[name])
 	}
-	names = names[:0]
+	for _, name := range sortedNames(s.Gauges) {
+		fmt.Fprintf(&sb, "gauge   %s %d\n", name, s.Gauges[name])
+	}
+	names := make([]string, 0, len(s.Timers))
 	for name := range s.Timers {
 		names = append(names, name)
 	}
@@ -192,8 +412,95 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		fmt.Fprintf(&sb, "timer   %s count=%d total=%s mean=%s\n",
 			name, t.Count, t.Total.Round(time.Microsecond), t.Mean().Round(time.Microsecond))
 	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&sb, "histo   %s count=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// promName maps a metric name to the Prometheus exposition charset:
+// [a-zA-Z0-9_:], everything else becomes '_' (so "eval.points.completed"
+// exports as "eval_points_completed").
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single series, timers as
+// <name>_count / <name>_seconds_total counters, histograms as classic
+// cumulative <name>_bucket{le="..."} series with _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	sortedNames := func(m map[string]int64) []string {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	for _, name := range sortedNames(s.Counters) {
+		n := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		n := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name])
+	}
+	names := make([]string, 0, len(s.Timers))
+	for name := range s.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.Timers[name]
+		n := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s_count counter\n%s_count %d\n", n, n, t.Count)
+		fmt.Fprintf(&sb, "# TYPE %s_seconds_total counter\n%s_seconds_total %g\n",
+			n, n, t.Total.Seconds())
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		n := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", n, trimFloat(bound), cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&sb, "%s_sum %g\n", n, h.Sum)
+		fmt.Fprintf(&sb, "%s_count %d\n", n, h.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// trimFloat formats a bucket bound the way Prometheus clients do: shortest
+// representation that round-trips.
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 // String renders the snapshot as WriteText does.
@@ -203,13 +510,33 @@ func (s Snapshot) String() string {
 	return sb.String()
 }
 
-// Handler serves the registry's current snapshot as plain text — mount it at
-// /debug/metrics.
+// Handler serves the registry's current snapshot — mount it at
+// /debug/metrics. The format is negotiated per request: a Prometheus scrape
+// (an Accept header naming the 0.0.4 text exposition format or OpenMetrics,
+// or an explicit ?format=prometheus) receives the Prometheus rendering;
+// everything else (browsers, curl) receives the human-oriented text format.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.Snapshot().WriteText(w)
+		s.WriteText(w)
 	})
+}
+
+// wantsPrometheus reports whether the request negotiates the Prometheus
+// exposition format.
+func wantsPrometheus(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "openmetrics")
 }
 
 // Default is the process-wide registry the package-level helpers use.
@@ -218,8 +545,14 @@ var Default = NewRegistry()
 // GetCounter returns a counter from the Default registry.
 func GetCounter(name string) *Counter { return Default.GetCounter(name) }
 
+// GetGauge returns a gauge from the Default registry.
+func GetGauge(name string) *Gauge { return Default.GetGauge(name) }
+
 // GetTimer returns a timer from the Default registry.
 func GetTimer(name string) *Timer { return Default.GetTimer(name) }
+
+// GetHistogram returns a DefaultBuckets histogram from the Default registry.
+func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
 
 // Handler serves the Default registry.
 func Handler() http.Handler { return Default.Handler() }

@@ -1,6 +1,10 @@
 package session
 
-import "smartsra/internal/webgraph"
+import (
+	"sort"
+
+	"smartsra/internal/webgraph"
+)
 
 // Captures reports whether reconstructed session h captures real session r
 // in the paper's sense (§5.1): r's page sequence occurs as a CONTIGUOUS
@@ -10,8 +14,20 @@ import "smartsra/internal/webgraph"
 // R in H".
 //
 // Empty real sessions are vacuously captured.
+//
+// Captures materializes both page sequences on every call; hot paths that
+// probe many pairs (eval.ScoreMatched, MaximalOnly) precompute Pages once
+// per session and use ContainsPages instead.
 func Captures(h, r Session) bool {
 	return indexOf(h.Pages(), r.Pages()) >= 0
+}
+
+// ContainsPages reports whether needle occurs as a contiguous subsequence of
+// haystack — the capture relation over pre-extracted page sequences. It is
+// the allocation-free core of Captures for callers that reuse page slices
+// across many probes.
+func ContainsPages(haystack, needle []webgraph.PageID) bool {
+	return indexOf(haystack, needle) >= 0
 }
 
 // CapturedByAny reports whether any of the candidate sessions captures r.
@@ -74,20 +90,49 @@ func Subsumes(a, b Session) bool {
 // MaximalOnly filters out sessions strictly subsumed by another session in
 // the set, preserving the original order of the survivors. Exact duplicates
 // keep their first occurrence.
+//
+// Only a longer-or-equal session can subsume, so candidates are visited in
+// descending length order and each probe stops at the first shorter bucket;
+// page sequences are extracted once per session, not once per pair, so the
+// pass allocates O(n) regardless of how many pairs it probes.
 func MaximalOnly(sessions []Session) []Session {
 	out := make([]Session, 0, len(sessions))
+	if len(sessions) <= 1 {
+		return append(out, sessions...)
+	}
+	pages := make([][]webgraph.PageID, len(sessions))
 	for i, s := range sessions {
+		pages[i] = s.Pages()
+	}
+	// byLen lists session indices sorted by length descending; the stable
+	// sort keeps original order inside one length bucket, which the
+	// duplicate rule (j < i) relies on.
+	byLen := make([]int, len(sessions))
+	for i := range byLen {
+		byLen[i] = i
+	}
+	sort.SliceStable(byLen, func(a, b int) bool {
+		return len(pages[byLen[a]]) > len(pages[byLen[b]])
+	})
+	for i, s := range sessions {
+		n := len(pages[i])
 		subsumed := false
-		for j, t := range sessions {
-			if i == j {
+		for _, j := range byLen {
+			if len(pages[j]) < n {
+				break // shorter sessions cannot subsume
+			}
+			if j == i {
 				continue
 			}
-			if len(t.Entries) > len(s.Entries) && Subsumes(t, s) {
-				subsumed = true
-				break
+			if len(pages[j]) > n {
+				if indexOf(pages[j], pages[i]) >= 0 {
+					subsumed = true
+					break
+				}
+				continue
 			}
 			// Equal-length subsumption means equality: drop later duplicates.
-			if j < i && len(t.Entries) == len(s.Entries) && Subsumes(t, s) {
+			if j < i && indexOf(pages[j], pages[i]) >= 0 {
 				subsumed = true
 				break
 			}

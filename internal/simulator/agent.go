@@ -3,11 +3,34 @@ package simulator
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
 )
+
+// agentScratch holds the per-agent working buffers — the browser-cache map
+// and the page arena the pick/backtrack scans fill — so a worker reuses one
+// set across all its agents instead of reallocating per agent. Pooled across
+// runs (evaluation sweeps simulate thousands of agents per point).
+type agentScratch struct {
+	visited map[webgraph.PageID]bool
+	pages   []webgraph.PageID
+	cands   []btCand
+}
+
+// btCand is one backtrack candidate: position idx in the current real
+// session, with its unvisited successors packed at pages[lo:hi].
+type btCand struct {
+	idx, lo, hi int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &agentScratch{visited: make(map[webgraph.PageID]bool)}
+	},
+}
 
 // agentOutcome collects everything one simulated user produced.
 type agentOutcome struct {
@@ -31,17 +54,20 @@ type agent struct {
 	rng     *rand.Rand
 	user    string
 	now     time.Time
+	scr     *agentScratch
 	visited map[webgraph.PageID]bool // browser cache: everything ever fetched
 	curReal []session.Entry
 	out     agentOutcome
 }
 
 // runAgent simulates one user end to end. The generator must be dedicated to
-// this agent (see Run), making the outcome a pure function of (g, p, seed).
-func runAgent(g *webgraph.Graph, p Params, user string, start time.Time, rng *rand.Rand) agentOutcome {
+// this agent (see Run), making the outcome a pure function of (g, p, seed) —
+// scratch only lends buffers and never carries state between agents.
+func runAgent(g *webgraph.Graph, p Params, user string, start time.Time, rng *rand.Rand, scr *agentScratch) agentOutcome {
+	clear(scr.visited)
 	a := &agent{
 		g: g, p: p, rng: rng, user: user, now: start,
-		visited: make(map[webgraph.PageID]bool),
+		scr: scr, visited: scr.visited,
 	}
 	a.run()
 	return a.out
@@ -168,12 +194,13 @@ func (a *agent) stay() time.Duration {
 // (fresh=false, cache-served).
 func (a *agent) pickStart() (p webgraph.PageID, fresh bool) {
 	starts := a.g.StartPages()
-	var unvisited []webgraph.PageID
+	unvisited := a.scr.pages[:0]
 	for _, s := range starts {
 		if !a.visited[s] {
 			unvisited = append(unvisited, s)
 		}
 	}
+	a.scr.pages = unvisited
 	if len(unvisited) > 0 {
 		return unvisited[a.rng.Intn(len(unvisited))], true
 	}
@@ -189,23 +216,24 @@ func (a *agent) backtrack() (webgraph.PageID, bool) {
 	if len(a.curReal) < 2 {
 		return webgraph.InvalidPage, false
 	}
-	// Candidate positions: everything before the most recent page.
-	type cand struct {
-		idx   int
-		fresh []webgraph.PageID
-	}
-	var cands []cand
+	// Candidate positions: everything before the most recent page. Each
+	// position's unvisited successors are packed into the shared page arena
+	// as a [lo, hi) range, so the scan allocates nothing once the scratch
+	// buffers have grown to the agent's working set.
+	arena := a.scr.pages[:0]
+	cands := a.scr.cands[:0]
 	for i := 0; i < len(a.curReal)-1; i++ {
-		var fresh []webgraph.PageID
+		lo := len(arena)
 		for _, v := range a.g.Succ(a.curReal[i].Page) {
 			if !a.visited[v] {
-				fresh = append(fresh, v)
+				arena = append(arena, v)
 			}
 		}
-		if len(fresh) > 0 {
-			cands = append(cands, cand{idx: i, fresh: fresh})
+		if len(arena) > lo {
+			cands = append(cands, btCand{idx: i, lo: lo, hi: len(arena)})
 		}
 	}
+	a.scr.pages, a.scr.cands = arena, cands
 	if len(cands) == 0 {
 		return webgraph.InvalidPage, false
 	}
@@ -223,18 +251,20 @@ func (a *agent) backtrack() (webgraph.PageID, bool) {
 	a.flushReal()
 	a.curReal = append(a.curReal, session.Entry{Page: target, Time: a.now})
 	a.now = a.now.Add(a.stay())
-	return c.fresh[a.rng.Intn(len(c.fresh))], true
+	fresh := arena[c.lo:c.hi]
+	return fresh[a.rng.Intn(len(fresh))], true
 }
 
 // pickSuccessor applies the revisit policy to choose among linked pages.
 func (a *agent) pickSuccessor(succ []webgraph.PageID) webgraph.PageID {
 	if a.p.Revisit == RevisitAvoid {
-		var fresh []webgraph.PageID
+		fresh := a.scr.pages[:0]
 		for _, v := range succ {
 			if !a.visited[v] {
 				fresh = append(fresh, v)
 			}
 		}
+		a.scr.pages = fresh
 		if len(fresh) > 0 {
 			return fresh[a.rng.Intn(len(fresh))]
 		}

@@ -112,6 +112,10 @@ func Run(g *webgraph.Graph, p Params) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled scratch per worker, shared by all its agents and
+			// returned for the next run (sweeps call Run once per point).
+			scr := scratchPool.Get().(*agentScratch)
+			defer scratchPool.Put(scr)
 			for i := range next {
 				// Seed each agent independently so scheduling cannot change
 				// results. SplitMix-style mixing decorrelates nearby seeds.
@@ -119,7 +123,7 @@ func Run(g *webgraph.Graph, p Params) (*Result, error) {
 				// Whole-second start times survive the CLF format round trip.
 				jitter := time.Duration(rng.Int63n(int64(p.StartWindow))).Truncate(time.Second)
 				start := p.Start.Add(jitter)
-				outcomes[i] = runAgent(g, p, AgentID(i), start, rng)
+				outcomes[i] = runAgent(g, p, AgentID(i), start, rng, scr)
 			}
 		}()
 	}
