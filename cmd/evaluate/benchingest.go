@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/core"
+	"smartsra/internal/eval"
+	"smartsra/internal/simulator"
+)
+
+// ingestBench is the JSON record -benchingest emits: one self-benchmark of
+// the streaming ingestion layer (CLF parsing and Tail/ShardedTail
+// sessionization) over a simulated log at the configured -agents scale.
+// CI runs this and uploads the file; EXPERIMENTS.md tracks the trajectory.
+type ingestBench struct {
+	Name       string `json:"name"`
+	Agents     int    `json:"agents"`
+	Records    int    `json:"records"`
+	Workers    int    `json:"workers"`
+	Shards     int    `json:"shards"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Parse stage: the legacy per-line string path, the []byte fast path
+	// (sequential), and the chunk-parallel reader.
+	ParseStringRecsPerSec   float64 `json:"parse_string_recs_per_sec"`
+	ParseStringAllocsPerRec float64 `json:"parse_string_allocs_per_rec"`
+	ParseBytesRecsPerSec    float64 `json:"parse_bytes_recs_per_sec"`
+	ParseBytesAllocsPerRec  float64 `json:"parse_bytes_allocs_per_rec"`
+	ParseParallelRecsPerSec float64 `json:"parse_parallel_recs_per_sec"`
+	ParseSpeedup            float64 `json:"parse_speedup"`
+
+	// Sessionization stage: single Tail vs concurrently fed ShardedTail.
+	TailRecsPerSec        float64 `json:"tail_recs_per_sec"`
+	ShardedTailRecsPerSec float64 `json:"sharded_tail_recs_per_sec"`
+	TailSpeedup           float64 `json:"tail_speedup"`
+}
+
+// measure runs op repeatedly until the window is above timer noise and
+// returns (seconds per op, mallocs per op).
+func measure(op func()) (secPerOp, allocsPerOp float64) {
+	const (
+		minIters  = 3
+		minWindow = time.Second
+		maxIters  = 100
+	)
+	op() // warm-up
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for (time.Since(start) < minWindow || iters < minIters) && iters < maxIters {
+		op()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed.Seconds() / float64(iters),
+		float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// parseStringBaseline is the pre-optimization parse path: one string per
+// line, string-based ParseAnyRecord. Kept for the before/after comparison.
+func parseStringBaseline(data []byte) int {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if _, _, err := clf.ParseAnyRecord(line); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// runBenchIngest benchmarks the ingestion layer and writes the measurement
+// as JSON to path ("-" for stdout).
+func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error {
+	g, err := eval.Topology(base)
+	if err != nil {
+		return err
+	}
+	sim, err := simulator.Run(g, base.Params)
+	if err != nil {
+		return err
+	}
+	records := sim.Log(g)
+	var logBuf bytes.Buffer
+	if err := clf.WriteAll(&logBuf, records); err != nil {
+		return err
+	}
+	data := logBuf.Bytes()
+
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	b := ingestBench{
+		Name:       "Ingest",
+		Agents:     base.Params.Agents,
+		Records:    len(records),
+		Workers:    effWorkers,
+		Shards:     shards,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	recs := float64(len(records))
+
+	sec, allocs := measure(func() { parseStringBaseline(data) })
+	b.ParseStringRecsPerSec = recs / sec
+	b.ParseStringAllocsPerRec = allocs / recs
+
+	sec, allocs = measure(func() { clf.ReadAll(bytes.NewReader(data)) })
+	b.ParseBytesRecsPerSec = recs / sec
+	b.ParseBytesAllocsPerRec = allocs / recs
+
+	sec, _ = measure(func() { clf.ReadAllParallel(bytes.NewReader(data), effWorkers) })
+	b.ParseParallelRecsPerSec = recs / sec
+	b.ParseSpeedup = b.ParseParallelRecsPerSec / b.ParseStringRecsPerSec
+
+	sec, _ = measure(func() {
+		tl, err := core.NewTail(core.Config{Graph: g}, 0)
+		if err != nil {
+			panic(err)
+		}
+		for _, rec := range records {
+			tl.Push(rec)
+		}
+		tl.Flush()
+	})
+	b.TailRecsPerSec = recs / sec
+
+	// Feed the ShardedTail from effWorkers goroutines, records partitioned
+	// by user so each user's arrival order is preserved.
+	feeds := make([][]clf.Record, effWorkers)
+	for _, rec := range records {
+		h := uint32(2166136261)
+		for i := 0; i < len(rec.Host); i++ {
+			h = (h ^ uint32(rec.Host[i])) * 16777619
+		}
+		f := int(h % uint32(effWorkers))
+		feeds[f] = append(feeds[f], rec)
+	}
+	sec, _ = measure(func() {
+		st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shards)
+		if err != nil {
+			panic(err)
+		}
+		var wg sync.WaitGroup
+		for _, part := range feeds {
+			wg.Add(1)
+			go func(part []clf.Record) {
+				defer wg.Done()
+				for _, rec := range part {
+					st.Push(rec)
+				}
+			}(part)
+		}
+		wg.Wait()
+		st.Flush()
+	})
+	b.ShardedTailRecsPerSec = recs / sec
+	b.TailSpeedup = b.ShardedTailRecsPerSec / b.TailRecsPerSec
+
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+	} else {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchingest: %d records; parse %.0f/s string, %.0f/s bytes (%.2f vs %.2f allocs/rec), %.0f/s parallel (%.1fx); tail %.0f/s, sharded %.0f/s (%.1fx; workers=%d shards=%d GOMAXPROCS=%d)\n",
+		b.Records, b.ParseStringRecsPerSec, b.ParseBytesRecsPerSec,
+		b.ParseStringAllocsPerRec, b.ParseBytesAllocsPerRec,
+		b.ParseParallelRecsPerSec, b.ParseSpeedup,
+		b.TailRecsPerSec, b.ShardedTailRecsPerSec, b.TailSpeedup,
+		b.Workers, b.Shards, b.GOMAXPROCS)
+	return nil
+}

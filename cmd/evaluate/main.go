@@ -52,10 +52,12 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent sweep points (<=0: all cores; 1: sequential)")
 		progress   = flag.Bool("progress", false, "report per-point progress and a metrics snapshot on stderr")
 		benchjson  = flag.String("benchjson", "", "benchmark one evaluation point and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
+		benchingst = flag.String("benchingest", "", "benchmark the streaming ingestion layer (parse, Tail, ShardedTail) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
+		shards     = flag.Int("shards", 0, "ShardedTail shard count for -benchingest (<=0: all cores)")
 	)
 	flag.Parse()
 	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir,
-		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson); err != nil {
+		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson, *benchingst, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
@@ -63,7 +65,7 @@ func main() {
 
 func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
 	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool,
-	benchjson string) error {
+	benchjson, benchingest string, shards int) error {
 	base := eval.PaperDefaults()
 	base.Params.Agents = agents
 	base.Params.Seed = seed
@@ -74,6 +76,9 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 
 	if benchjson != "" {
 		return runBenchJSON(base, workers, benchjson)
+	}
+	if benchingest != "" {
+		return runBenchIngest(base, workers, shards, benchingest)
 	}
 
 	start := time.Now()

@@ -6,23 +6,38 @@
 // Usage:
 //
 //	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
+//	      [-sessions sessions.txt] [-shards 0] [-expire-every 30s]
 //
-// The log flushes on every request batch and on shutdown (Ctrl-C kills the
-// process; use a file and tail -f to watch). Runtime counters — requests
+// The log flushes on every request batch, and Ctrl-C (SIGINT/SIGTERM)
+// shuts down gracefully, flushing every still-buffered session when
+// -sessions is active (use a file and tail -f to watch). Runtime counters — requests
 // served, log lines written, and any pipeline metrics the process
 // accumulates — are exposed as plain text at /debug/metrics.
+//
+// With -sessions the server also sessionizes its own traffic live: every
+// logged request is pushed into a core.ShardedTail (Smart-SRA), finalized
+// sessions are appended to the given file as they close, and a background
+// ticker expires quiet users every -expire-every so their sessions are not
+// held forever.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"smartsra/internal/clf"
+	"smartsra/internal/core"
 	"smartsra/internal/metrics"
+	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
 	"smartsra/internal/webserver"
 )
@@ -32,23 +47,26 @@ var metricRequests = metrics.GetCounter("serve.requests")
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "", "topology JSON written by simgen (required)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		logPath  = flag.String("log", "", "access log file (default: stderr)")
-		combined = flag.Bool("combined", false, "write Combined Log Format")
+		topoPath    = flag.String("topology", "", "topology JSON written by simgen (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		logPath     = flag.String("log", "", "access log file (default: stderr)")
+		combined    = flag.Bool("combined", false, "write Combined Log Format")
+		sessPath    = flag.String("sessions", "", "sessionize traffic live, appending finalized sessions to this file")
+		shards      = flag.Int("shards", 0, "ShardedTail shard count for -sessions (0 = all cores)")
+		expireEvery = flag.Duration("expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
 	)
 	flag.Parse()
 	if *topoPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *addr, *logPath, *combined); err != nil {
+	if err := run(*topoPath, *addr, *logPath, *combined, *sessPath, *shards, *expireEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, addr, logPath string, combined bool) error {
+func run(topoPath, addr, logPath string, combined bool, sessPath string, shards int, expireEvery time.Duration) error {
 	tf, err := os.Open(topoPath)
 	if err != nil {
 		return err
@@ -75,16 +93,97 @@ func run(topoPath, addr, logPath string, combined bool) error {
 	}
 	sink := webserver.NewWriterSink(w)
 
+	var tee *sessionTee
+	if sessPath != "" {
+		sf, err := os.OpenFile(sessPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shards)
+		if err != nil {
+			return err
+		}
+		tee = &sessionTee{st: st, w: bufio.NewWriter(sf)}
+		if expireEvery > 0 {
+			go tee.expireLoop(expireEvery)
+		}
+		defer func() { tee.emit(st.Flush()) }()
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", metrics.Handler())
-	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{sink}, time.Now))
+	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{sink, tee}, time.Now))
 	fmt.Printf("serving %s on %s (log: %s, format: %s, metrics: /debug/metrics)\n",
 		g, addr, orStderr(logPath), format(combined))
-	return http.ListenAndServe(addr, mux)
+	if sessPath != "" {
+		fmt.Printf("sessionizing live to %s (%d shards, expire every %v)\n",
+			sessPath, tee.st.Shards(), expireEvery)
+	}
+	// Serve until SIGINT/SIGTERM, then shut down gracefully so the deferred
+	// ShardedTail flush writes every still-buffered session.
+	srv := &http.Server{Addr: addr, Handler: mux}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("caught %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
 }
 
-// flushAfter flushes the log after every record so tail -f works.
-type flushAfter struct{ sink *webserver.WriterSink }
+// sessionTee pushes every logged record into a ShardedTail and appends
+// finalized sessions to a file. Push is lock-free across shards; only the
+// file write is serialized.
+type sessionTee struct {
+	st *core.ShardedTail
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// push feeds one record and writes whatever sessions it finalized.
+func (t *sessionTee) push(rec clf.Record) { t.emit(t.st.Push(rec)) }
+
+// emit appends finalized sessions to the sessions file.
+func (t *sessionTee) emit(sessions []session.Session) {
+	if len(sessions) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := session.WriteAll(t.w, sessions); err == nil {
+		err = t.w.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: session write:", err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "serve: session write:", err)
+	}
+}
+
+// expireLoop periodically finalizes quiet users so a user who leaves still
+// gets their last session written.
+func (t *sessionTee) expireLoop(every time.Duration) {
+	for range time.Tick(every) {
+		t.emit(t.st.Expire(time.Now()))
+	}
+}
+
+// flushAfter flushes the log after every record so tail -f works, and tees
+// each record into the live sessionizer when one is configured.
+type flushAfter struct {
+	sink *webserver.WriterSink
+	tee  *sessionTee
+}
 
 // Record implements webserver.LogSink.
 func (f flushAfter) Record(r clf.Record) {
@@ -92,6 +191,9 @@ func (f flushAfter) Record(r clf.Record) {
 	f.sink.Record(r)
 	if err := f.sink.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "serve: log write:", err)
+	}
+	if f.tee != nil {
+		f.tee.push(r)
 	}
 }
 

@@ -30,19 +30,20 @@ func main() {
 		heur      = flag.String("heuristic", "heur4", "heur1|heur2|heur3|heur4|referrer (referrer needs a combined-format log)")
 		noClean   = flag.Bool("no-clean", false, "skip the standard data-cleaning filter")
 		statsOnly = flag.Bool("stats-only", false, "print statistics but not the sessions")
+		workers   = flag.Int("workers", 0, "pipeline parallelism: 0 sequential, -1 all cores, n>0 that many workers (output is identical for any value)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *logPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly); err != nil {
+	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, logPath, heur string, noClean, statsOnly bool) error {
+func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int) error {
 	tf, err := os.Open(topoPath)
 	if err != nil {
 		return err
@@ -70,7 +71,7 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Graph: g, Heuristic: h}
+	cfg := core.Config{Graph: g, Heuristic: h, Workers: workers}
 	if noClean {
 		cfg.Filter = clf.KeepAll
 	}

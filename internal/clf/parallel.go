@@ -1,0 +1,146 @@
+package clf
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// readChunkSize is the target size of one line-aligned parse chunk. Chunks
+// are extended to the next newline, so lines never straddle workers.
+const readChunkSize = 1 << 20
+
+// maxLineBytes mirrors the Scanner's 1 MiB line cap: a "line" that exceeds
+// it is a defect (or an attack), and both readers fail the same way.
+const maxLineBytes = 1 << 20
+
+// ReadAllParallel is ReadAll with the parse stage fanned out over a bounded
+// worker pool: the input is split into line-aligned chunks of about 1 MiB,
+// chunks are parsed concurrently through the byte-level fast path, and the
+// records are concatenated in input order — the result is identical to
+// ReadAll's for any worker count (records, order, and malformed count).
+// workers <= 0 means GOMAXPROCS; workers == 1 (or a single chunk's worth of
+// input) degrades to the sequential reader.
+func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return ReadAll(r)
+	}
+
+	type parsed struct {
+		recs []Record
+		bad  int
+	}
+	type chunk struct {
+		idx  int
+		data []byte
+	}
+
+	chunks := make(chan chunk, workers)
+	var (
+		mu      sync.Mutex
+		results []parsed
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range chunks {
+				recs, bad := parseChunk(c.data)
+				mu.Lock()
+				for len(results) <= c.idx {
+					results = append(results, parsed{})
+				}
+				results[c.idx] = parsed{recs: recs, bad: bad}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The producer reads blocks and cuts them at the last newline; the
+	// remainder carries into the next chunk so no line is split.
+	var (
+		carry   []byte
+		idx     int
+		readErr error
+	)
+	for {
+		buf := make([]byte, readChunkSize)
+		n, rerr := io.ReadFull(r, buf)
+		if n > 0 {
+			nl := bytes.LastIndexByte(buf[:n], '\n')
+			if nl < 0 {
+				carry = append(carry, buf[:n]...)
+				if len(carry) > maxLineBytes {
+					readErr = bufio.ErrTooLong
+					break
+				}
+			} else {
+				// The chunk's first line spans the carry; reject it at the
+				// same 1 MiB bound the sequential Scanner enforces.
+				if first := bytes.IndexByte(buf[:n], '\n'); len(carry)+first > maxLineBytes {
+					readErr = bufio.ErrTooLong
+					break
+				}
+				data := append(carry, buf[:nl+1]...)
+				carry = append([]byte(nil), buf[nl+1:n]...)
+				chunks <- chunk{idx: idx, data: data}
+				idx++
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				if len(carry) > 0 {
+					chunks <- chunk{idx: idx, data: carry}
+					idx++
+				}
+			} else {
+				readErr = rerr
+			}
+			break
+		}
+	}
+	close(chunks)
+	wg.Wait()
+
+	for _, p := range results {
+		records = append(records, p.recs...)
+		malformed += p.bad
+	}
+	metricRecords.Add(int64(len(records)))
+	metricMalformed.Add(int64(malformed))
+	if readErr != nil {
+		return records, malformed, fmt.Errorf("clf: read: %w", readErr)
+	}
+	return records, malformed, nil
+}
+
+// parseChunk parses every line of one chunk (the final line may lack a
+// trailing newline), skipping blank lines and counting malformed ones,
+// mirroring the Scanner's accounting.
+func parseChunk(data []byte) (recs []Record, bad int) {
+	for len(data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		if isBlankBytes(line) {
+			continue
+		}
+		rec, _, err := ParseAnyRecordBytes(line)
+		if err != nil {
+			bad++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, bad
+}

@@ -41,6 +41,12 @@ type Scanner struct {
 // only the count grows.
 const maxRetainedErrors = 100
 
+// maxRetainedLineBytes caps how much of a malformed line a retained
+// ParseError keeps. Retention copies the truncated prefix instead of slicing
+// the original, so a single malformed 1 MiB line no longer pins its whole
+// buffer for the Scanner's lifetime.
+const maxRetainedLineBytes = 512
+
 // NewScanner returns a Scanner reading CLF lines from r. Lines up to 1 MiB
 // are supported (far above any legal CLF line).
 func NewScanner(r io.Reader) *Scanner {
@@ -54,16 +60,17 @@ func NewScanner(r io.Reader) *Scanner {
 func (s *Scanner) Scan() bool {
 	for s.br.Scan() {
 		s.lineNo++
-		line := s.br.Text()
-		if isBlank(line) {
+		line := s.br.Bytes()
+		if isBlankBytes(line) {
 			continue
 		}
-		rec, _, err := ParseAnyRecord(line)
+		rec, _, err := ParseAnyRecordBytes(line)
 		if err != nil {
 			s.bad++
 			metricMalformed.Inc()
 			if pe, ok := err.(*ParseError); ok && len(s.badErrs) < maxRetainedErrors {
 				pe.LineNo = s.lineNo
+				pe.Line = truncate(pe.Line, maxRetainedLineBytes)
 				s.badErrs = append(s.badErrs, pe)
 			}
 			continue
@@ -93,6 +100,17 @@ func (s *Scanner) Malformed() (count int, details []*ParseError) {
 func (s *Scanner) LinesRead() int { return s.lineNo }
 
 func isBlank(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isBlankBytes(line []byte) bool {
 	for i := 0; i < len(line); i++ {
 		switch line[i] {
 		case ' ', '\t', '\r':

@@ -14,6 +14,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"time"
 
 	"smartsra/internal/clf"
 	"smartsra/internal/heuristics"
@@ -55,6 +57,25 @@ type Config struct {
 	Key prep.UserKey
 	// Resolver maps URIs to pages; nil means resolving against Graph labels.
 	Resolver prep.Resolver
+	// Workers bounds the pipeline's parallelism: log parsing, stream
+	// building, and session reconstruction all fan out over this many
+	// goroutines, with output identical to the sequential path for any
+	// value. Zero keeps the legacy sequential behaviour; negative means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// effectiveWorkers resolves the Workers knob: 0 → 1 (sequential zero
+// value), < 0 → GOMAXPROCS, otherwise the explicit count.
+func (c Config) effectiveWorkers() int {
+	switch {
+	case c.Workers == 0:
+		return 1
+	case c.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return c.Workers
+	}
 }
 
 // Pipeline is an immutable, reusable log-to-sessions processor. It is safe
@@ -120,7 +141,7 @@ func (s Stats) String() string {
 // sessions. It fails only on read errors; data-quality issues are counted in
 // Stats.
 func (p *Pipeline) ProcessLog(r io.Reader) (*Result, error) {
-	records, malformed, err := clf.ReadAll(r)
+	records, malformed, err := clf.ReadAllParallel(r, p.cfg.effectiveWorkers())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -134,14 +155,19 @@ func (p *Pipeline) ProcessLog(r io.Reader) (*Result, error) {
 
 // ProcessRecords runs the pipeline on already-parsed records.
 func (p *Pipeline) ProcessRecords(records []clf.Record) (*Result, error) {
-	streams, pstats, err := prep.BuildStreams(records, p.cfg.Resolver, prep.Options{
+	workers := p.cfg.effectiveWorkers()
+	streams, pstats, err := prep.BuildStreamsWith(records, p.cfg.Resolver, prep.Options{
 		Filter: p.cfg.Filter,
 		Key:    p.cfg.Key,
-	})
+	}, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	sessions := heuristics.ReconstructAll(p.cfg.Heuristic, streams)
+	start := time.Now()
+	sessions := heuristics.ReconstructAllWith(p.cfg.Heuristic, streams, workers)
+	metrics.GetHistogram(metrics.WithLabels(
+		"core.pipeline.reconstruct.seconds", "heur", p.cfg.Heuristic.Name(),
+	)).ObserveDuration(time.Since(start))
 	metricPipelineRecords.Add(int64(pstats.Records))
 	metricPipelineSessions.Add(int64(len(sessions)))
 	return &Result{

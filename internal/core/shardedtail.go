@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/session"
+)
+
+// ShardedTail is a Tail that scales with cores: each user key hashes to one
+// of N shards, and each shard owns its own buffer map, mutex, and Tail, so
+// concurrent feeders only contend when they land on the same shard. The
+// cleaning filter, URI resolution, and user keying run in the caller's
+// goroutine before the shard lock is taken (every Config stage is a pure
+// function, see Pipeline), keeping the critical section to the buffer
+// append.
+//
+// Because a user lives in exactly one shard, per-user processing is
+// identical to a single Tail's; Flush and Expire merge the shard outputs
+// back into global user order, so the emitted sessions are byte-identical
+// to a single Tail fed the same records, for any shard count.
+type ShardedTail struct {
+	cfg    Config
+	rho    time.Duration
+	shards []*tailShard
+	// Pre-shard stage counters are process-shared, so they are atomic.
+	records    atomic.Int64
+	filtered   atomic.Int64
+	unresolved atomic.Int64
+}
+
+// tailShard pairs one Tail with the mutex that serializes access to it.
+type tailShard struct {
+	mu   sync.Mutex
+	tail *Tail
+}
+
+// NewShardedTail builds a concurrent streaming processor from the same
+// Config as NewTail plus the shard count (<= 0 means GOMAXPROCS, capped at
+// a small multiple so tiny machines don't pay for empty maps).
+func NewShardedTail(cfg Config, rho time.Duration, shards int) (*ShardedTail, error) {
+	if shards <= 0 {
+		shards = defaultShardCount()
+	}
+	st := &ShardedTail{shards: make([]*tailShard, shards)}
+	for i := range st.shards {
+		t, err := NewTail(cfg, rho)
+		if err != nil {
+			return nil, fmt.Errorf("core: sharded tail: %w", err)
+		}
+		st.shards[i] = &tailShard{tail: t}
+	}
+	st.cfg = st.shards[0].tail.cfg // defaulted by NewTail
+	st.rho = st.shards[0].tail.rho
+	return st, nil
+}
+
+// Shards returns the shard count.
+func (st *ShardedTail) Shards() int { return len(st.shards) }
+
+// Push feeds one record, returning any sessions finalized by its arrival.
+// It is safe for concurrent use; sessions of one user are always returned
+// to exactly one caller (the one whose record closed the burst).
+func (st *ShardedTail) Push(rec clf.Record) []session.Session {
+	st.records.Add(1)
+	metricTailRecords.Inc()
+	if st.cfg.Filter != nil && !st.cfg.Filter(rec) {
+		st.filtered.Add(1)
+		return nil
+	}
+	page, ok := st.cfg.Resolver(rec.URI)
+	if !ok {
+		st.unresolved.Add(1)
+		return nil
+	}
+	user := st.cfg.Key(rec)
+	sh := st.shards[shardOf(user, len(st.shards))]
+	sh.mu.Lock()
+	out := sh.tail.pushResolved(user, page, rec.Time)
+	sh.mu.Unlock()
+	return out
+}
+
+// Buffered returns the number of entries currently held in open bursts
+// across all shards.
+func (st *ShardedTail) Buffered() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += sh.tail.Buffered()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Expire finalizes every user whose last request is more than ρ before now,
+// merging shard outputs into global user order (identical to Tail.Expire).
+func (st *ShardedTail) Expire(now time.Time) []session.Session {
+	return st.drain(func(t *Tail) []session.Session { return t.Expire(now) })
+}
+
+// Flush finalizes everything buffered, in user order (identical to
+// Tail.Flush). The ShardedTail remains usable afterwards.
+func (st *ShardedTail) Flush() []session.Session {
+	return st.drain((*Tail).Flush)
+}
+
+// drain runs f on every shard and merges the outputs into user order. Each
+// shard's output is already sorted by user and a user lives in exactly one
+// shard, so a stable sort on user restores the global order a single Tail
+// would have produced, without disturbing each user's session order.
+func (st *ShardedTail) drain(f func(*Tail) []session.Session) []session.Session {
+	var out []session.Session
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		out = append(out, f(sh.tail)...)
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// Stats aggregates the counters across shards (plus the pre-shard stage
+// counters). It is exact when no Push is concurrently in flight.
+func (st *ShardedTail) Stats() Stats {
+	stats := Stats{
+		Records:    int(st.records.Load()),
+		Filtered:   int(st.filtered.Load()),
+		Unresolved: int(st.unresolved.Load()),
+	}
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		s := sh.tail.Stats()
+		sh.mu.Unlock()
+		stats.Users += s.Users
+		stats.Sessions += s.Sessions
+	}
+	return stats
+}
+
+// defaultShardCount sizes the shard set to the scheduler's parallelism.
+func defaultShardCount() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// shardOf maps a user key to a shard index via FNV-1a (inlined to avoid the
+// hash.Hash32 allocation per record).
+func shardOf(user string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(user); i++ {
+		h ^= uint32(user[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}

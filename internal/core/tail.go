@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"smartsra/internal/clf"
+	"smartsra/internal/metrics"
 	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
 )
 
 // Tail is the incremental counterpart of Pipeline: it consumes access-log
@@ -31,6 +33,9 @@ type Tail struct {
 	buffers  map[string]*burst
 	buffered int // entries currently held in open bursts, across all users
 	stats    Stats
+	// reconstructHist times Heuristic.Reconstruct per burst close, labeled
+	// by heuristic so /debug/metrics exposes one series per strategy.
+	reconstructHist *metrics.Histogram
 }
 
 // burst is one user's open request run.
@@ -52,7 +57,13 @@ func NewTail(cfg Config, rho time.Duration) (*Tail, error) {
 	if rho < 0 {
 		return nil, fmt.Errorf("core: negative burst gap %v", rho)
 	}
-	return &Tail{cfg: p.cfg, rho: rho, buffers: make(map[string]*burst)}, nil
+	return &Tail{
+		cfg:     p.cfg,
+		rho:     rho,
+		buffers: make(map[string]*burst),
+		reconstructHist: metrics.GetHistogram(metrics.WithLabels(
+			"core.tail.reconstruct.seconds", "heur", p.cfg.Heuristic.Name())),
+	}, nil
 }
 
 // Push feeds one record, returning any sessions finalized by its arrival
@@ -70,7 +81,13 @@ func (t *Tail) Push(rec clf.Record) []session.Session {
 		t.stats.Unresolved++
 		return nil
 	}
-	user := t.cfg.Key(rec)
+	return t.pushResolved(t.cfg.Key(rec), page, rec.Time)
+}
+
+// pushResolved buffers one already-cleaned, already-resolved request. It is
+// the post-shard half of Push: ShardedTail runs Filter/Resolver/Key in the
+// caller's goroutine and routes here under the owning shard's lock.
+func (t *Tail) pushResolved(user string, page webgraph.PageID, at time.Time) []session.Session {
 	b := t.buffers[user]
 	if b == nil {
 		b = &burst{}
@@ -78,15 +95,15 @@ func (t *Tail) Push(rec clf.Record) []session.Session {
 		t.stats.Users++
 	}
 	var out []session.Session
-	if len(b.entries) > 0 && rec.Time.Sub(b.last) > t.rho {
+	if len(b.entries) > 0 && at.Sub(b.last) > t.rho {
 		out = t.close(user, b)
 	}
-	b.entries = append(b.entries, session.Entry{Page: page, Time: rec.Time})
+	b.entries = append(b.entries, session.Entry{Page: page, Time: at})
 	t.buffered++
 	metricTailBuffered.Add(1)
 	metricTailMaxDepth.SetMax(int64(len(b.entries)))
-	if rec.Time.After(b.last) {
-		b.last = rec.Time
+	if at.After(b.last) {
+		b.last = at
 	}
 	return out
 }
@@ -146,7 +163,9 @@ func (t *Tail) close(user string, b *burst) []session.Session {
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].Time.Before(entries[j].Time)
 	})
+	start := time.Now()
 	sessions := t.cfg.Heuristic.Reconstruct(session.Stream{User: user, Entries: entries})
+	t.reconstructHist.ObserveDuration(time.Since(start))
 	t.stats.Sessions += len(sessions)
 	metricTailSessions.Add(int64(len(sessions)))
 	return sessions

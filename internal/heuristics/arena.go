@@ -1,0 +1,72 @@
+package heuristics
+
+import "smartsra/internal/session"
+
+// entryArena hands out session.Entry slices for the constructed sessions of
+// one reconstruction from a few large blocks instead of one heap allocation
+// per session. Returned slices have exact capacity (three-index slicing),
+// so a caller appending to a retained session falls off the arena instead
+// of clobbering a neighbour. Blocks are pinned by the sessions the caller
+// retains, so an arena must NOT be reused across Reconstruct calls — it
+// lives in the per-call scratch and dies with it.
+type entryArena struct {
+	block []session.Entry
+	// next sizes the next block: seeded near the stream length so small
+	// users get one small block, growing geometrically (capped) under
+	// session-set blowup.
+	next int
+}
+
+// arenaMaxBlock caps block growth so a pathological candidate does not make
+// every later block huge.
+const arenaMaxBlock = 4096
+
+// alloc returns a zeroed n-entry slice with capacity exactly n.
+func (a *entryArena) alloc(n int) []session.Entry {
+	if cap(a.block)-len(a.block) < n {
+		size := a.next
+		if size < 64 {
+			size = 64
+		}
+		if size > arenaMaxBlock {
+			size = arenaMaxBlock
+		}
+		if size < n {
+			size = n
+		}
+		a.block = make([]session.Entry, 0, size)
+		a.next = size * 2
+	}
+	lo := len(a.block)
+	a.block = a.block[:lo+n]
+	return a.block[lo : lo+n : lo+n]
+}
+
+// clone1 allocates a one-entry session.
+func (a *entryArena) clone1(e session.Entry) []session.Entry {
+	s := a.alloc(1)
+	s[0] = e
+	return s
+}
+
+// clone2 allocates a two-entry session.
+func (a *entryArena) clone2(e0, e1 session.Entry) []session.Entry {
+	s := a.alloc(2)
+	s[0], s[1] = e0, e1
+	return s
+}
+
+// extend allocates a copy of sess with e appended.
+func (a *entryArena) extend(sess []session.Entry, e session.Entry) []session.Entry {
+	s := a.alloc(len(sess) + 1)
+	copy(s, sess)
+	s[len(sess)] = e
+	return s
+}
+
+// cloneAll allocates an exact-size copy of sess.
+func (a *entryArena) cloneAll(sess []session.Entry) []session.Entry {
+	s := a.alloc(len(sess))
+	copy(s, sess)
+	return s
+}

@@ -46,9 +46,18 @@ func (Navigation) Describe() string {
 // the surrounding real requests, so that output sessions remain in
 // non-decreasing time order; the paper's pseudocode does not assign them
 // times (they are served from the browser cache and never hit the server).
+// Sessions are assembled in one reusable scratch buffer and copied out
+// exact-size from a per-call entry arena when they close, so a stream with
+// many sessions costs a handful of block allocations instead of per-session
+// append churn.
 func (h Navigation) Reconstruct(stream session.Stream) []session.Session {
 	var out []session.Session
-	var cur []session.Entry
+	arena := entryArena{next: len(stream.Entries) + 8}
+	var cur []session.Entry // scratch: reused across sessions, copied on close
+	closeCur := func() {
+		out = append(out, session.Session{User: stream.User, Entries: arena.cloneAll(cur)})
+		cur = cur[:0]
+	}
 	for _, e := range stream.Entries {
 		if len(cur) == 0 {
 			cur = append(cur, e)
@@ -56,8 +65,8 @@ func (h Navigation) Reconstruct(stream session.Stream) []session.Session {
 		}
 		last := cur[len(cur)-1]
 		if h.MaxGap > 0 && e.Time.Sub(last.Time) > h.MaxGap {
-			out = append(out, session.Session{User: stream.User, Entries: cur})
-			cur = []session.Entry{e}
+			closeCur()
+			cur = append(cur, e)
 			continue
 		}
 		if h.Graph.HasEdge(last.Page, e.Page) {
@@ -75,8 +84,8 @@ func (h Navigation) Reconstruct(stream session.Stream) []session.Session {
 		}
 		if k < 0 {
 			// Nothing in the session reaches the new page: close and restart.
-			out = append(out, session.Session{User: stream.User, Entries: cur})
-			cur = []session.Entry{e}
+			closeCur()
+			cur = append(cur, e)
 			continue
 		}
 		// Insert backward movements WPN-1, WPN-2, ..., WPKmax, then the new
@@ -94,7 +103,7 @@ func (h Navigation) Reconstruct(stream session.Stream) []session.Session {
 		cur = append(cur, e)
 	}
 	if len(cur) > 0 {
-		out = append(out, session.Session{User: stream.User, Entries: cur})
+		closeCur()
 	}
 	return out
 }

@@ -110,12 +110,14 @@ type sraScratch struct {
 	extended []bool            // Step III extension marks
 	set      [][]session.Entry // constructed-set headers (ping)
 	tset     [][]session.Entry // constructed-set headers (pong)
+	arena    entryArena        // backing store for constructed-session entries
 }
 
 // Reconstruct implements Reconstructor.
 func (h SmartSRA) Reconstruct(stream session.Stream) []session.Session {
 	var out []session.Session
 	var scr sraScratch
+	scr.arena.next = len(stream.Entries) + 8
 	scr.bounds = h.phase1(stream.Entries, scr.bounds[:0])
 	for b := 0; b+1 < len(scr.bounds); b++ {
 		cand := stream.Entries[scr.bounds[b]:scr.bounds[b+1]]
@@ -158,8 +160,9 @@ func (h SmartSRA) phase1(entries []session.Entry, bounds []int) []int {
 // phase2 runs the paper's Figure 2 procedure on one candidate session,
 // returning the constructed topology-valid sessions. The returned outer
 // slice aliases scratch storage and is only valid until the next phase2
-// call on the same scratch; its element slices are freshly allocated and
-// safe to retain.
+// call on the same scratch; its element slices come from the scratch's
+// entry arena with exact capacity and are safe to retain (the arena is
+// never reused across Reconstruct calls).
 func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entry {
 	remaining := append(scr.remain[:0], cand...)
 	rest := scr.rest[:0]
@@ -205,9 +208,9 @@ func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entr
 
 		// Step III: extend the constructed sessions.
 		if len(newSet) == 0 {
-			newSet = h.appendInferredBacktracks(newSet, tpages, removed)
+			newSet = h.appendInferredBacktracks(newSet, tpages, removed, &scr.arena)
 			for _, e := range tpages {
-				newSet = append(newSet, []session.Entry{e})
+				newSet = append(newSet, scr.arena.clone1(e))
 			}
 			removed = append(removed, tpages...)
 			continue
@@ -229,19 +232,16 @@ func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entr
 				if last.Time.Before(e.Time) &&
 					e.Time.Sub(last.Time) <= h.Rules.PageStay &&
 					h.Graph.HasEdge(last.Page, e.Page) {
-					ext := make([]session.Entry, len(sess)+1)
-					copy(ext, sess)
-					ext[len(sess)] = e
-					tset = append(tset, ext)
+					tset = append(tset, scr.arena.extend(sess, e))
 					extended[k] = true
 					attached = true
 				}
 			}
 			if !attached && h.Orphans == OrphanNewSession {
-				tset = append(tset, []session.Entry{e})
+				tset = append(tset, scr.arena.clone1(e))
 			}
 		}
-		tset = h.appendInferredBacktracks(tset, tpages, removed)
+		tset = h.appendInferredBacktracks(tset, tpages, removed, &scr.arena)
 		for k, sess := range newSet {
 			if !extended[k] {
 				tset = append(tset, sess)
@@ -261,7 +261,7 @@ func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entr
 // appendInferredBacktracks appends a [B, e] session for every consumed
 // referrer B of each wave page e (see InferBacktracks). Referrers still
 // inside the candidate cannot qualify: e would not be in the wave then.
-func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, tpages, removed []session.Entry) [][]session.Entry {
+func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, tpages, removed []session.Entry, arena *entryArena) [][]session.Entry {
 	if !h.InferBacktracks {
 		return dst
 	}
@@ -270,7 +270,7 @@ func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, tpages, remove
 			if b.Time.Before(e.Time) &&
 				e.Time.Sub(b.Time) <= h.Rules.PageStay &&
 				h.Graph.HasEdge(b.Page, e.Page) {
-				dst = append(dst, []session.Entry{b, e})
+				dst = append(dst, arena.clone2(b, e))
 			}
 		}
 	}

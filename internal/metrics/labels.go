@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+)
+
+// WithLabels builds the canonical registry key for a labeled series:
+// name{k1="v1",k2="v2"} with keys sorted and values escaped, so the same
+// label set always maps to the same key regardless of argument order.
+// kv is alternating key, value pairs; an odd trailing key is dropped.
+//
+//	h := metrics.GetHistogram(metrics.WithLabels("tail.reconstruct.seconds", "heur", "smartsra"))
+//
+// The text snapshot prints the key verbatim; the Prometheus rendering
+// splits it back into metric name and label set (merging in "le" for
+// histogram buckets) and groups series of one base name under one TYPE
+// line.
+func WithLabels(name string, kv ...string) string {
+	n := len(kv) / 2 * 2
+	if n == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the Prometheus label-value escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// splitLabels splits a registry key into its base name and the label body
+// (the text between the braces, "" when unlabeled).
+func splitLabels(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// promLabels maps the label keys of a label body to the exposition charset
+// (values are already escaped by WithLabels).
+func promLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	var sb strings.Builder
+	rest := labels
+	for len(rest) > 0 {
+		eq := strings.Index(rest, `="`)
+		if eq < 0 {
+			sb.WriteString(rest)
+			break
+		}
+		sb.WriteString(promName(rest[:eq]))
+		rest = rest[eq:]
+		// Skip past the quoted value, honouring escapes.
+		end := 2
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				end++
+				break
+			}
+			end++
+		}
+		sb.WriteString(rest[:end])
+		rest = rest[end:]
+		if strings.HasPrefix(rest, ",") {
+			sb.WriteByte(',')
+			rest = rest[1:]
+		}
+	}
+	return sb.String()
+}
+
+// promSeries renders "base{labels}" (or just "base") for one series.
+func promSeries(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// groupedKeys groups the keys of a metric map by Prometheus base name so
+// each base gets exactly one TYPE line. Groups and the series inside them
+// come out sorted (unlabeled series first).
+func groupedKeys(names []string) [][]string {
+	byBase := make(map[string][]string)
+	for _, name := range names {
+		base, _ := splitLabels(name)
+		byBase[promName(base)] = append(byBase[promName(base)], name)
+	}
+	bases := make([]string, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	groups := make([][]string, 0, len(bases))
+	for _, b := range bases {
+		keys := byBase[b]
+		sort.Strings(keys)
+		groups = append(groups, keys)
+	}
+	return groups
+}

@@ -444,54 +444,84 @@ func promName(name string) string {
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single series, timers as
 // <name>_count / <name>_seconds_total counters, histograms as classic
-// cumulative <name>_bucket{le="..."} series with _sum and _count.
+// cumulative <name>_bucket{le="..."} series with _sum and _count. Labeled
+// registry keys built with WithLabels ("name{k=\"v\"}") are split back into
+// metric name and label set; every series of one base name shares a single
+// TYPE line, and histogram buckets merge "le" into the series labels.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var sb strings.Builder
-	sortedNames := func(m map[string]int64) []string {
+	keysOf := func(m map[string]int64) []string {
 		names := make([]string, 0, len(m))
 		for name := range m {
 			names = append(names, name)
 		}
-		sort.Strings(names)
 		return names
 	}
-	for _, name := range sortedNames(s.Counters) {
-		n := promName(name)
-		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
-	}
-	for _, name := range sortedNames(s.Gauges) {
-		n := promName(name)
-		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name])
-	}
-	names := make([]string, 0, len(s.Timers))
-	for name := range s.Timers {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		t := s.Timers[name]
-		n := promName(name)
-		fmt.Fprintf(&sb, "# TYPE %s_count counter\n%s_count %d\n", n, n, t.Count)
-		fmt.Fprintf(&sb, "# TYPE %s_seconds_total counter\n%s_seconds_total %g\n",
-			n, n, t.Total.Seconds())
-	}
-	names = names[:0]
-	for name := range s.Histograms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		h := s.Histograms[name]
-		n := promName(name)
-		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
-		cum := int64(0)
-		for i, bound := range h.Bounds {
-			cum += h.Counts[i]
-			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", n, trimFloat(bound), cum)
+	for _, group := range groupedKeys(keysOf(s.Counters)) {
+		base, _ := splitLabels(group[0])
+		n := promName(base)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n", n)
+		for _, key := range group {
+			_, labels := splitLabels(key)
+			fmt.Fprintf(&sb, "%s %d\n", promSeries(n, promLabels(labels)), s.Counters[key])
 		}
-		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
-		fmt.Fprintf(&sb, "%s_sum %g\n", n, h.Sum)
-		fmt.Fprintf(&sb, "%s_count %d\n", n, h.Count)
+	}
+	for _, group := range groupedKeys(keysOf(s.Gauges)) {
+		base, _ := splitLabels(group[0])
+		n := promName(base)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n", n)
+		for _, key := range group {
+			_, labels := splitLabels(key)
+			fmt.Fprintf(&sb, "%s %d\n", promSeries(n, promLabels(labels)), s.Gauges[key])
+		}
+	}
+	timerKeys := make([]string, 0, len(s.Timers))
+	for name := range s.Timers {
+		timerKeys = append(timerKeys, name)
+	}
+	for _, group := range groupedKeys(timerKeys) {
+		base, _ := splitLabels(group[0])
+		n := promName(base)
+		fmt.Fprintf(&sb, "# TYPE %s_count counter\n", n)
+		for _, key := range group {
+			_, labels := splitLabels(key)
+			fmt.Fprintf(&sb, "%s %d\n", promSeries(n+"_count", promLabels(labels)), s.Timers[key].Count)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s_seconds_total counter\n", n)
+		for _, key := range group {
+			_, labels := splitLabels(key)
+			fmt.Fprintf(&sb, "%s %g\n", promSeries(n+"_seconds_total", promLabels(labels)),
+				s.Timers[key].Total.Seconds())
+		}
+	}
+	histoKeys := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histoKeys = append(histoKeys, name)
+	}
+	for _, group := range groupedKeys(histoKeys) {
+		base, _ := splitLabels(group[0])
+		n := promName(base)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
+		for _, key := range group {
+			_, labels := splitLabels(key)
+			l := promLabels(labels)
+			withLE := func(le string) string {
+				if l == "" {
+					return le
+				}
+				return l + "," + le
+			}
+			h := s.Histograms[key]
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(&sb, "%s %d\n",
+					promSeries(n+"_bucket", withLE(fmt.Sprintf("le=%q", trimFloat(bound)))), cum)
+			}
+			fmt.Fprintf(&sb, "%s %d\n", promSeries(n+"_bucket", withLE(`le="+Inf"`)), h.Count)
+			fmt.Fprintf(&sb, "%s %g\n", promSeries(n+"_sum", l), h.Sum)
+			fmt.Fprintf(&sb, "%s %d\n", promSeries(n+"_count", l), h.Count)
+		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

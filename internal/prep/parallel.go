@@ -1,0 +1,108 @@
+package prep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/session"
+)
+
+// parallelMinRecords is the input size below which the fan-out overhead
+// outweighs the parallel win and BuildStreamsWith degrades to BuildStreams.
+const parallelMinRecords = 4096
+
+// BuildStreamsWith is BuildStreams with the filter/resolve/key stage fanned
+// out over a bounded worker pool. The records are split into contiguous
+// ranges, each worker groups its range into a private per-user map, and the
+// per-range entry lists are concatenated in range order before the final
+// stable time sort — so entries reach the sort in exactly the record order
+// the sequential path uses and the output is identical for any worker
+// count. workers <= 0 means GOMAXPROCS; workers == 1 (or a small input)
+// runs the sequential path.
+func BuildStreamsWith(records []clf.Record, resolve Resolver, opts Options, workers int) ([]session.Stream, Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(records)/parallelMinRecords {
+		workers = len(records) / parallelMinRecords
+	}
+	if workers <= 1 {
+		return BuildStreams(records, resolve, opts)
+	}
+	if resolve == nil {
+		return nil, Stats{}, fmt.Errorf("prep: nil resolver")
+	}
+	key := opts.Key
+	if key == nil {
+		key = ByIP
+	}
+
+	type rangeResult struct {
+		byUser     map[string][]session.Entry
+		filtered   int
+		unresolved int
+	}
+	results := make([]rangeResult, workers)
+	per := (len(records) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(records) {
+			hi = len(records)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := rangeResult{byUser: make(map[string][]session.Entry)}
+			for _, rec := range records[lo:hi] {
+				if opts.Filter != nil && !opts.Filter(rec) {
+					r.filtered++
+					continue
+				}
+				page, ok := resolve(rec.URI)
+				if !ok {
+					r.unresolved++
+					continue
+				}
+				u := key(rec)
+				r.byUser[u] = append(r.byUser[u], session.Entry{Page: page, Time: rec.Time})
+			}
+			results[w] = r
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	stats := Stats{Records: len(records)}
+	sizes := make(map[string]int)
+	for _, r := range results {
+		stats.Filtered += r.filtered
+		stats.Unresolved += r.unresolved
+		for u, es := range r.byUser {
+			sizes[u] += len(es)
+		}
+	}
+	users := make([]string, 0, len(sizes))
+	for u := range sizes {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	streams := make([]session.Stream, 0, len(users))
+	for _, u := range users {
+		entries := make([]session.Entry, 0, sizes[u])
+		// Range order is record order, so the concatenation feeds the
+		// stable sort the same sequence BuildStreams would.
+		for _, r := range results {
+			entries = append(entries, r.byUser[u]...)
+		}
+		sort.SliceStable(entries, func(i, j int) bool {
+			return entries[i].Time.Before(entries[j].Time)
+		})
+		streams = append(streams, session.Stream{User: u, Entries: entries})
+	}
+	stats.Users = len(streams)
+	return streams, stats, nil
+}
