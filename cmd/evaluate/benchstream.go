@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/core"
+	"smartsra/internal/eval"
+	"smartsra/internal/simulator"
+)
+
+// streamBench is the JSON record -benchstream emits: one self-benchmark of
+// the bounded-memory streaming path (clf.Stream/StreamParallel and the
+// end-to-end ShardedTail.Ingest pipeline) over a simulated log at the
+// configured -agents scale. CI runs this and uploads the file;
+// EXPERIMENTS.md tracks the trajectory.
+type streamBench struct {
+	Name       string `json:"name"`
+	Agents     int    `json:"agents"`
+	Records    int    `json:"records"`
+	LogBytes   int    `json:"log_bytes"`
+	Workers    int    `json:"workers"`
+	Depth      int    `json:"depth"`
+	Shards     int    `json:"shards"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Reader stage: sequential Scanner-based Stream vs the chunk-parallel
+	// in-order StreamParallel with its per-chunk intern arena.
+	StreamRecsPerSec           float64 `json:"stream_recs_per_sec"`
+	StreamAllocsPerRec         float64 `json:"stream_allocs_per_rec"`
+	StreamParallelRecsPerSec   float64 `json:"stream_parallel_recs_per_sec"`
+	StreamParallelAllocsPerRec float64 `json:"stream_parallel_allocs_per_rec"`
+	StreamSpeedup              float64 `json:"stream_speedup"`
+
+	// End to end: StreamParallel feeding a ShardedTail via Ingest — the
+	// cmd/sessionize -stream / cmd/serve -backfill deployment — plus the
+	// heap high-water mark observed while it ran (the bounded-memory
+	// claim's number; excludes the benchmark's own in-memory input copy).
+	IngestRecsPerSec       float64 `json:"ingest_recs_per_sec"`
+	IngestHeapHighWaterMiB float64 `json:"ingest_heap_high_water_mib"`
+}
+
+// heapSampler wraps a reader and tracks the heap high-water mark while the
+// pipeline drains it (same technique as TestStreamParallelBoundedMemory,
+// but sampling every read — the bench log is only a few MiB, so the
+// ReadMemStats cost stays negligible).
+type heapSampler struct {
+	r    io.Reader
+	high atomic.Uint64
+}
+
+func (h *heapSampler) Read(p []byte) (int, error) {
+	h.sample()
+	return h.r.Read(p)
+}
+
+func (h *heapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.high.Load() {
+		h.high.Store(ms.HeapAlloc)
+	}
+}
+
+// runBenchStream benchmarks the streaming ingestion path and writes the
+// measurement as JSON to path ("-" for stdout).
+func runBenchStream(base eval.RunConfig, workers, shards, depth int, path string) error {
+	g, err := eval.Topology(base)
+	if err != nil {
+		return err
+	}
+	sim, err := simulator.Run(g, base.Params)
+	if err != nil {
+		return err
+	}
+	records := sim.Log(g)
+	var logBuf bytes.Buffer
+	if err := clf.WriteAll(&logBuf, records); err != nil {
+		return err
+	}
+	data := logBuf.Bytes()
+
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	effDepth := depth
+	if effDepth <= 0 {
+		effDepth = clf.DefaultStreamDepth
+	}
+
+	b := streamBench{
+		Name:       "StreamIngest",
+		Agents:     base.Params.Agents,
+		Records:    len(records),
+		LogBytes:   len(data),
+		Workers:    effWorkers,
+		Depth:      effDepth,
+		Shards:     shards,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	recs := float64(len(records))
+
+	sec, allocs := measure(func() {
+		if _, err := clf.Stream(bytes.NewReader(data), func(clf.Record) {}); err != nil {
+			panic(err)
+		}
+	})
+	b.StreamRecsPerSec = recs / sec
+	b.StreamAllocsPerRec = allocs / recs
+
+	sec, allocs = measure(func() {
+		if _, err := clf.StreamParallel(bytes.NewReader(data), effWorkers, effDepth, func(clf.Record) {}); err != nil {
+			panic(err)
+		}
+	})
+	b.StreamParallelRecsPerSec = recs / sec
+	b.StreamParallelAllocsPerRec = allocs / recs
+	b.StreamSpeedup = b.StreamParallelRecsPerSec / b.StreamRecsPerSec
+
+	var high uint64
+	sec, _ = measure(func() {
+		st, err := core.NewShardedTail(core.Config{
+			Graph: g, Workers: effWorkers, StreamDepth: effDepth,
+		}, 0, shards)
+		if err != nil {
+			panic(err)
+		}
+		src := &heapSampler{r: bytes.NewReader(data)}
+		if _, err := st.Ingest(src, core.DiscardSessions); err != nil {
+			panic(err)
+		}
+		st.Flush()
+		src.sample()
+		if h := src.high.Load(); h > high {
+			high = h
+		}
+	})
+	b.IngestRecsPerSec = recs / sec
+	b.IngestHeapHighWaterMiB = float64(high) / (1 << 20)
+
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+	} else {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchstream: %d records (%d MiB); stream %.0f/s (%.2f allocs/rec), parallel %.0f/s (%.2f allocs/rec, %.1fx); ingest %.0f/s, heap high-water %.0f MiB (workers=%d depth=%d shards=%d GOMAXPROCS=%d)\n",
+		b.Records, b.LogBytes>>20, b.StreamRecsPerSec, b.StreamAllocsPerRec,
+		b.StreamParallelRecsPerSec, b.StreamParallelAllocsPerRec, b.StreamSpeedup,
+		b.IngestRecsPerSec, b.IngestHeapHighWaterMiB,
+		b.Workers, b.Depth, b.Shards, b.GOMAXPROCS)
+	return nil
+}

@@ -17,7 +17,11 @@
 // -benchjson FILE switches to self-benchmark mode: instead of sweeping, one
 // evaluation point is timed repeatedly at the configured -agents scale and
 // the measurement (ns/op, allocs/op, sessions/sec) is written as JSON —
-// the data behind BENCH_point.json and the CI bench artifact.
+// the data behind BENCH_point.json and the CI bench artifact. -benchingest
+// does the same for the batch ingestion layer, and -benchstream for the
+// bounded-memory streaming path (Stream/StreamParallel and the end-to-end
+// ShardedTail.Ingest pipeline, including its heap high-water mark) — the
+// data behind BENCH_stream.json.
 //
 // Accuracy is reported under both readings of the paper's §5.1 metric:
 // matched (one-to-one, headline) and exists (any capturer counts); see
@@ -53,11 +57,13 @@ func main() {
 		progress   = flag.Bool("progress", false, "report per-point progress and a metrics snapshot on stderr")
 		benchjson  = flag.String("benchjson", "", "benchmark one evaluation point and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
 		benchingst = flag.String("benchingest", "", "benchmark the streaming ingestion layer (parse, Tail, ShardedTail) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
-		shards     = flag.Int("shards", 0, "ShardedTail shard count for -benchingest (<=0: all cores)")
+		benchstrm  = flag.String("benchstream", "", "benchmark the bounded-memory streaming path (Stream, StreamParallel, ShardedTail.Ingest) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
+		shards     = flag.Int("shards", 0, "ShardedTail shard count for -benchingest/-benchstream (<=0: all cores)")
+		depth      = flag.Int("stream-depth", 0, "in-flight parsed chunks for -benchstream (<=0: default)")
 	)
 	flag.Parse()
 	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir,
-		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson, *benchingst, *shards); err != nil {
+		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson, *benchingst, *benchstrm, *shards, *depth); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
@@ -65,7 +71,7 @@ func main() {
 
 func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
 	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool,
-	benchjson, benchingest string, shards int) error {
+	benchjson, benchingest, benchstream string, shards, depth int) error {
 	base := eval.PaperDefaults()
 	base.Params.Agents = agents
 	base.Params.Seed = seed
@@ -79,6 +85,9 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 	}
 	if benchingest != "" {
 		return runBenchIngest(base, workers, shards, benchingest)
+	}
+	if benchstream != "" {
+		return runBenchStream(base, workers, shards, depth, benchstream)
 	}
 
 	start := time.Now()

@@ -7,6 +7,7 @@
 //
 //	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
 //	      [-sessions sessions.txt] [-shards 0] [-expire-every 30s]
+//	      [-backfill old.log] [-workers N] [-stream-depth D]
 //
 // The log flushes on every request batch, and Ctrl-C (SIGINT/SIGTERM)
 // shuts down gracefully, flushing every still-buffered session when
@@ -19,6 +20,12 @@
 // sessions are appended to the given file as they close, and a background
 // ticker expires quiet users every -expire-every so their sessions are not
 // held forever.
+//
+// -backfill streams an existing access log through the same sessionizer
+// before serving begins, so the live tail starts with history already in
+// place. The backfill uses the bounded-memory streaming reader (-workers
+// parse goroutines, -stream-depth in-flight chunks), so arbitrarily large
+// history replays in fixed heap.
 package main
 
 import (
@@ -54,19 +61,22 @@ func main() {
 		sessPath    = flag.String("sessions", "", "sessionize traffic live, appending finalized sessions to this file")
 		shards      = flag.Int("shards", 0, "ShardedTail shard count for -sessions (0 = all cores)")
 		expireEvery = flag.Duration("expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
+		backfill    = flag.String("backfill", "", "existing access log to stream through the sessionizer before serving (needs -sessions)")
+		workers     = flag.Int("workers", 0, "parse goroutines for -backfill (0 sequential, -1 all cores)")
+		depth       = flag.Int("stream-depth", 0, "in-flight parsed chunks for -backfill (0 = default; bounds backfill heap, never changes output)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *addr, *logPath, *combined, *sessPath, *shards, *expireEvery); err != nil {
+	if err := run(*topoPath, *addr, *logPath, *combined, *sessPath, *shards, *expireEvery, *backfill, *workers, *depth); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, addr, logPath string, combined bool, sessPath string, shards int, expireEvery time.Duration) error {
+func run(topoPath, addr, logPath string, combined bool, sessPath string, shards int, expireEvery time.Duration, backfill string, workers, depth int) error {
 	tf, err := os.Open(topoPath)
 	if err != nil {
 		return err
@@ -100,15 +110,22 @@ func run(topoPath, addr, logPath string, combined bool, sessPath string, shards 
 			return err
 		}
 		defer sf.Close()
-		st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shards)
+		st, err := core.NewShardedTail(core.Config{Graph: g, Workers: workers, StreamDepth: depth}, 0, shards)
 		if err != nil {
 			return err
 		}
 		tee = &sessionTee{st: st, w: bufio.NewWriter(sf)}
+		if backfill != "" {
+			if err := tee.backfill(backfill); err != nil {
+				return err
+			}
+		}
 		if expireEvery > 0 {
 			go tee.expireLoop(expireEvery)
 		}
 		defer func() { tee.emit(st.Flush()) }()
+	} else if backfill != "" {
+		return fmt.Errorf("-backfill needs -sessions (there is nowhere to put the sessions)")
 	}
 
 	mux := http.NewServeMux()
@@ -152,6 +169,26 @@ type sessionTee struct {
 
 // push feeds one record and writes whatever sessions it finalized.
 func (t *sessionTee) push(rec clf.Record) { t.emit(t.st.Push(rec)) }
+
+// backfill streams an existing access log through the sessionizer before
+// the server starts, in bounded heap regardless of the log's size. Bursts
+// still open at the end of the history stay buffered so live traffic from
+// the same users continues them seamlessly.
+func (t *sessionTee) backfill(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	malformed, err := t.st.Ingest(bufio.NewReader(f), t.emit)
+	if err != nil {
+		return fmt.Errorf("backfill %s: %w", path, err)
+	}
+	stats := t.st.Stats()
+	fmt.Printf("backfilled %s: records=%d malformed=%d sessions=%d (open bursts carry into live traffic)\n",
+		path, stats.Records, malformed, stats.Sessions)
+	return nil
+}
 
 // emit appends finalized sessions to the sessions file.
 func (t *sessionTee) emit(sessions []session.Session) {

@@ -6,7 +6,17 @@
 // Usage:
 //
 //	sessionize -topology topology.json -log access.log [-heuristic heur4]
-//	           [-no-clean] [-stats-only]
+//	           [-no-clean] [-stats-only] [-workers N]
+//	           [-stream] [-stream-depth D] [-shards S]
+//
+// -stream switches to bounded-memory streaming ingestion: the log is parsed
+// in line-aligned chunks on -workers goroutines, delivered in input order
+// through a channel of depth -stream-depth straight into a sharded
+// streaming sessionizer, and sessions print as they finalize. Memory stays
+// bounded by (workers + depth) chunks regardless of log size, so it suits
+// logs far larger than RAM (or stdin pipes that never end). Sessions are
+// emitted in finalization order rather than batch order; for Smart-SRA and
+// the time-gap heuristic the session contents are identical to batch mode.
 package main
 
 import (
@@ -31,19 +41,22 @@ func main() {
 		noClean   = flag.Bool("no-clean", false, "skip the standard data-cleaning filter")
 		statsOnly = flag.Bool("stats-only", false, "print statistics but not the sessions")
 		workers   = flag.Int("workers", 0, "pipeline parallelism: 0 sequential, -1 all cores, n>0 that many workers (output is identical for any value)")
+		stream    = flag.Bool("stream", false, "bounded-memory streaming ingestion: sessions print as they finalize, heap independent of log size")
+		depth     = flag.Int("stream-depth", 0, "in-flight parsed chunks for -stream (0 = default; memory/throughput trade, never changes output)")
+		shards    = flag.Int("shards", 0, "streaming sessionizer shard count for -stream (0 = all cores)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *logPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers); err != nil {
+	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers, *stream, *depth, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int) error {
+func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, stream bool, depth, shards int) error {
 	tf, err := os.Open(topoPath)
 	if err != nil {
 		return err
@@ -64,6 +77,9 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int) e
 	}
 
 	if heur == "referrer" {
+		if stream {
+			return fmt.Errorf("-stream does not support the referrer heuristic (it chains over the full record list)")
+		}
 		return runReferrer(g, in, statsOnly)
 	}
 
@@ -71,9 +87,12 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int) e
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Graph: g, Heuristic: h, Workers: workers}
+	cfg := core.Config{Graph: g, Heuristic: h, Workers: workers, StreamDepth: depth}
 	if noClean {
 		cfg.Filter = clf.KeepAll
+	}
+	if stream {
+		return runStream(cfg, shards, in, statsOnly)
 	}
 	pipeline, err := core.NewPipeline(cfg)
 	if err != nil {
@@ -92,6 +111,43 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int) e
 		fmt.Fprintf(os.Stderr, "heuristic: %s — %s\n", h.Name(), d.Describe())
 	}
 	fmt.Fprintf(os.Stderr, "pipeline:  %s\n", res.Stats)
+	return nil
+}
+
+// runStream ingests the log through the bounded-memory streaming path: a
+// sharded streaming sessionizer fed in input order by the chunked parallel
+// reader, writing each session the moment its burst closes. Heap usage is
+// independent of log length, so this path handles logs larger than RAM and
+// never-ending stdin pipes.
+func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool) error {
+	st, err := core.NewShardedTail(cfg, 0, shards)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	sink := core.DiscardSessions
+	if !statsOnly {
+		sink = func(s []session.Session) {
+			if err := session.WriteAll(out, s); err != nil {
+				fmt.Fprintln(os.Stderr, "sessionize:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	malformed, err := st.Ingest(bufio.NewReader(in), sink)
+	if err != nil {
+		return err
+	}
+	sink(st.Flush())
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	stats := st.Stats()
+	stats.Malformed = malformed
+	if d, ok := cfg.Heuristic.(heuristics.Describer); ok {
+		fmt.Fprintf(os.Stderr, "heuristic: %s — %s\n", cfg.Heuristic.Name(), d.Describe())
+	}
+	fmt.Fprintf(os.Stderr, "pipeline:  %s (streaming)\n", stats)
 	return nil
 }
 

@@ -23,7 +23,7 @@ import (
 // ParseRecordBytes is ParseRecord operating on a byte slice. The input is
 // not retained; all returned strings are fresh copies.
 func ParseRecordBytes(line []byte) (Record, error) {
-	if rec, ok := parseRecordFast(trimCRLF(line)); ok {
+	if rec, ok := parseRecordFast(trimCRLF(line), nil); ok {
 		return rec, nil
 	}
 	return ParseRecord(string(line))
@@ -33,7 +33,7 @@ func ParseRecordBytes(line []byte) (Record, error) {
 func ParseCombinedRecordBytes(line []byte) (Record, error) {
 	trimmed := trimCRLF(line)
 	if prefix, ref, agent, ok := splitCombinedTailBytes(trimmed); ok {
-		if rec, ok := parseRecordFast(prefix); ok {
+		if rec, ok := parseRecordFast(prefix, nil); ok {
 			rec.Referer = fieldString(ref)
 			rec.UserAgent = string(agent)
 			return rec, nil
@@ -44,13 +44,22 @@ func ParseCombinedRecordBytes(line []byte) (Record, error) {
 
 // ParseAnyRecordBytes is ParseAnyRecord operating on a byte slice: combined
 // format is detected first, common format otherwise. It is the parser the
-// streaming Scanner and the chunked parallel reader use.
+// streaming Scanner uses.
 func ParseAnyRecordBytes(line []byte) (Record, bool, error) {
+	return parseAnyRecordBytesIn(line, nil)
+}
+
+// parseAnyRecordBytesIn is ParseAnyRecordBytes with a per-batch intern table
+// (nil disables interning). The chunk-parallel readers pass one table per
+// chunk so repeated hosts, URIs, referers, and user agents are copied once
+// per batch instead of once per record. Interned strings are equal values,
+// so the result is indistinguishable from the nil-table path.
+func parseAnyRecordBytesIn(line []byte, in *internTable) (Record, bool, error) {
 	trimmed := trimCRLF(line)
 	if prefix, ref, agent, ok := splitCombinedTailBytes(trimmed); ok {
-		if rec, ok := parseRecordFast(prefix); ok {
-			rec.Referer = fieldString(ref)
-			rec.UserAgent = string(agent)
+		if rec, ok := parseRecordFast(prefix, in); ok {
+			rec.Referer = in.field(ref)
+			rec.UserAgent = in.str(agent)
 			return rec, true, nil
 		}
 		// Combined shape but an unusual prefix: let the reference parser
@@ -58,7 +67,7 @@ func ParseAnyRecordBytes(line []byte) (Record, bool, error) {
 		// canonical error).
 		return ParseAnyRecord(string(line))
 	}
-	if rec, ok := parseRecordFast(trimmed); ok {
+	if rec, ok := parseRecordFast(trimmed, in); ok {
 		return rec, false, nil
 	}
 	return ParseAnyRecord(string(line))
@@ -116,8 +125,9 @@ func trimRightSpaces(b []byte) []byte {
 // parseRecordFast parses one common-format line already stripped of trailing
 // CR/LF. It returns ok=false — never a wrong Record — on anything outside
 // the fixed fast-path shape; callers then retry through the strict string
-// parser, which is the behavioral reference.
-func parseRecordFast(rest []byte) (Record, bool) {
+// parser, which is the behavioral reference. A non-nil intern table dedups
+// the Host and URI copies within one parse batch.
+func parseRecordFast(rest []byte, in *internTable) (Record, bool) {
 	// host ident authuser
 	var fields [3][]byte
 	for i := 0; i < 3; i++ {
@@ -180,12 +190,12 @@ func parseRecordFast(rest []byte) (Record, bool) {
 	}
 
 	return Record{
-		Host:     fieldString(fields[0]),
+		Host:     in.str(fields[0]),
 		Ident:    fieldString(fields[1]),
 		AuthUser: fieldString(fields[2]),
 		Time:     ts,
 		Method:   fieldString(req[:sp1]),
-		URI:      string(req[sp1+1 : sp2]),
+		URI:      in.str(req[sp1+1 : sp2]),
 		Protocol: fieldString(req[sp2+1:]),
 		Status:   status,
 		Bytes:    byteCount,

@@ -1,0 +1,51 @@
+package clf
+
+// internTable is the per-batch string-intern arena for the chunk-parallel
+// parse path. Real access logs repeat a small set of hosts, URIs, referers,
+// and user agents millions of times; interning makes the []byte→string
+// conversion allocation-free for every repeat, cutting the last per-record
+// allocations (Host and URI) of the byte fast path to amortized ~0.
+//
+// The table is scoped to one parse chunk (~1 MiB of input), so its memory is
+// bounded by the chunk's distinct strings and dies with the batch — an
+// unbounded log never grows an unbounded table, which is the property the
+// bounded-memory streaming contract needs. No locking: each chunk is parsed
+// by exactly one worker.
+type internTable struct {
+	m map[string]string
+}
+
+// newInternTable returns an empty per-batch table.
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// str converts b to a string, returning the interned copy when the same
+// bytes were seen before in this batch. The map lookup with a string(b) key
+// does not allocate (the compiler elides the conversion); only first
+// occurrences pay the copy. A nil table degrades to a plain conversion, so
+// the single-line entry points can share the parse code without a table.
+func (it *internTable) str(b []byte) string {
+	if it == nil {
+		return string(b)
+	}
+	if s, ok := it.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	it.m[s] = s
+	return s
+}
+
+// field converts a parsed field like str, but routes through the static
+// token intern first ("-", methods, protocol versions), which is cheaper
+// than a map probe for the tokens that dominate those fields.
+func (it *internTable) field(b []byte) string {
+	switch string(b) {
+	case "-":
+		return "-"
+	case "":
+		return ""
+	}
+	return it.str(b)
+}

@@ -1,12 +1,9 @@
 package clf
 
 import (
-	"bufio"
 	"bytes"
-	"fmt"
 	"io"
 	"runtime"
-	"sync"
 )
 
 // readChunkSize is the target size of one line-aligned parse chunk. Chunks
@@ -24,6 +21,10 @@ const maxLineBytes = 1 << 20
 // ReadAll's for any worker count (records, order, and malformed count).
 // workers <= 0 means GOMAXPROCS; workers == 1 (or a single chunk's worth of
 // input) degrades to the sequential reader.
+//
+// It is StreamParallel collecting into a slice: use StreamParallel directly
+// when the records feed a streaming consumer (core.Tail), so memory stays
+// bounded on unbounded logs.
 func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -31,100 +32,21 @@ func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int,
 	if workers == 1 {
 		return ReadAll(r)
 	}
-
-	type parsed struct {
-		recs []Record
-		bad  int
-	}
-	type chunk struct {
-		idx  int
-		data []byte
-	}
-
-	chunks := make(chan chunk, workers)
-	var (
-		mu      sync.Mutex
-		results []parsed
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range chunks {
-				recs, bad := parseChunk(c.data)
-				mu.Lock()
-				for len(results) <= c.idx {
-					results = append(results, parsed{})
-				}
-				results[c.idx] = parsed{recs: recs, bad: bad}
-				mu.Unlock()
-			}
-		}()
-	}
-
-	// The producer reads blocks and cuts them at the last newline; the
-	// remainder carries into the next chunk so no line is split.
-	var (
-		carry   []byte
-		idx     int
-		readErr error
-	)
-	for {
-		buf := make([]byte, readChunkSize)
-		n, rerr := io.ReadFull(r, buf)
-		if n > 0 {
-			nl := bytes.LastIndexByte(buf[:n], '\n')
-			if nl < 0 {
-				carry = append(carry, buf[:n]...)
-				if len(carry) > maxLineBytes {
-					readErr = bufio.ErrTooLong
-					break
-				}
-			} else {
-				// The chunk's first line spans the carry; reject it at the
-				// same 1 MiB bound the sequential Scanner enforces.
-				if first := bytes.IndexByte(buf[:n], '\n'); len(carry)+first > maxLineBytes {
-					readErr = bufio.ErrTooLong
-					break
-				}
-				data := append(carry, buf[:nl+1]...)
-				carry = append([]byte(nil), buf[nl+1:n]...)
-				chunks <- chunk{idx: idx, data: data}
-				idx++
-			}
-		}
-		if rerr != nil {
-			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
-				if len(carry) > 0 {
-					chunks <- chunk{idx: idx, data: carry}
-					idx++
-				}
-			} else {
-				readErr = rerr
-			}
-			break
-		}
-	}
-	close(chunks)
-	wg.Wait()
-
-	for _, p := range results {
-		records = append(records, p.recs...)
-		malformed += p.bad
-	}
-	metricRecords.Add(int64(len(records)))
-	metricMalformed.Add(int64(malformed))
-	if readErr != nil {
-		return records, malformed, fmt.Errorf("clf: read: %w", readErr)
-	}
-	return records, malformed, nil
+	// A deep order channel keeps the batch path free-running: the consumer
+	// only appends, so backpressure would just idle workers.
+	malformed, err = streamParallel(r, workers, 4*workers, readChunkSize, func(rec Record) {
+		records = append(records, rec)
+	})
+	return records, malformed, err
 }
 
 // parseChunk parses every line of one chunk (the final line may lack a
 // trailing newline), skipping blank lines and counting malformed ones,
-// mirroring the Scanner's accounting.
+// mirroring the Scanner's accounting. Each chunk gets its own string-intern
+// arena, so repeated hosts/URIs/referers/agents within the batch are copied
+// once instead of once per record.
 func parseChunk(data []byte) (recs []Record, bad int) {
+	in := newInternTable()
 	for len(data) > 0 {
 		var line []byte
 		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
@@ -135,7 +57,7 @@ func parseChunk(data []byte) (recs []Record, bad int) {
 		if isBlankBytes(line) {
 			continue
 		}
-		rec, _, err := ParseAnyRecordBytes(line)
+		rec, _, err := parseAnyRecordBytesIn(line, in)
 		if err != nil {
 			bad++
 			continue

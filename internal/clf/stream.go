@@ -1,0 +1,164 @@
+package clf
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// DefaultStreamDepth is the default depth of StreamParallel's in-order
+// delivery channel: how many parsed chunks may be in flight between the
+// reader and the consumer before the reader blocks. Together with the worker
+// count it bounds the pipeline's heap: roughly
+// (depth + workers) × chunk size of input bytes plus the records parsed from
+// them, independent of how long the log is.
+const DefaultStreamDepth = 8
+
+// Stream parses every record in r in input order, invoking emit for each,
+// and returns the malformed-line count. It is ReadAll without the slice:
+// memory is bounded by one line, so it suits logs that never end. Records
+// parsed before a read error are emitted before the error returns.
+func Stream(r io.Reader, emit func(Record)) (malformed int, err error) {
+	sc := NewScanner(r)
+	for sc.Scan() {
+		emit(sc.Record())
+	}
+	malformed, _ = sc.Malformed()
+	if err := sc.Err(); err != nil {
+		return malformed, fmt.Errorf("clf: read: %w", err)
+	}
+	return malformed, nil
+}
+
+// StreamParallel is Stream with the parse stage fanned out over a bounded
+// worker pool: the input is cut into line-aligned chunks of about 1 MiB,
+// chunks are parsed concurrently through the byte-level fast path (with a
+// per-chunk string-intern arena), and records are delivered to emit in input
+// order through a fixed-depth channel. For any workers/depth the emitted
+// sequence and malformed count are identical to Stream's (and ReadAll's).
+//
+// Unlike ReadAllParallel nothing is materialized: heap stays bounded by
+// (depth + workers) chunks regardless of log length, which is what a
+// reactive processor tailing an unbounded log needs. emit runs on the
+// calling goroutine; workers <= 0 means GOMAXPROCS, workers == 1 degrades
+// to the sequential Stream, depth <= 0 means DefaultStreamDepth.
+func StreamParallel(r io.Reader, workers, depth int, emit func(Record)) (malformed int, err error) {
+	return streamParallel(r, workers, depth, readChunkSize, emit)
+}
+
+// parsedChunk is one chunk's parse result.
+type parsedChunk struct {
+	recs []Record
+	bad  int
+}
+
+// streamJob carries one line-aligned chunk through the pipeline. done is
+// 1-buffered so a worker never blocks handing its result back.
+type streamJob struct {
+	data []byte
+	done chan parsedChunk
+}
+
+// streamParallel is StreamParallel with the chunk size exposed so tests can
+// force chunk boundaries through every split edge case (FuzzStreamChunks).
+//
+// Shape: one producer goroutine cuts r into line-aligned chunks and sends
+// each job to both the workers (via work) and the consumer (via order, whose
+// fixed buffer is the backpressure bound); the calling goroutine drains
+// order in FIFO — input order — waiting on each job's own done channel, so
+// delivery order never depends on worker scheduling.
+func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record)) (malformed int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Stream(r, emit)
+	}
+	if depth <= 0 {
+		depth = DefaultStreamDepth
+	}
+
+	work := make(chan *streamJob)
+	order := make(chan *streamJob, depth)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				recs, bad := parseChunk(j.data)
+				j.done <- parsedChunk{recs: recs, bad: bad}
+			}
+		}()
+	}
+
+	// The producer reads blocks and cuts them at the last newline; the
+	// remainder carries into the next chunk so no line is split. Sending to
+	// order before work keeps the consumer's view strictly FIFO and makes
+	// the order buffer the only admission gate.
+	var readErr error
+	go func() {
+		defer close(order)
+		defer close(work)
+		dispatch := func(data []byte) {
+			j := &streamJob{data: data, done: make(chan parsedChunk, 1)}
+			order <- j
+			work <- j
+		}
+		var carry []byte
+		for {
+			buf := make([]byte, chunkSize)
+			n, rerr := io.ReadFull(r, buf)
+			if n > 0 {
+				nl := bytes.LastIndexByte(buf[:n], '\n')
+				if nl < 0 {
+					carry = append(carry, buf[:n]...)
+					if len(carry) > maxLineBytes {
+						readErr = bufio.ErrTooLong
+						return
+					}
+				} else {
+					// The chunk's first line spans the carry; reject it at
+					// the same 1 MiB bound the sequential Scanner enforces.
+					if first := bytes.IndexByte(buf[:n], '\n'); len(carry)+first > maxLineBytes {
+						readErr = bufio.ErrTooLong
+						return
+					}
+					dispatch(append(carry, buf[:nl+1]...))
+					carry = append([]byte(nil), buf[nl+1:n]...)
+				}
+			}
+			if rerr != nil {
+				if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+					if len(carry) > 0 {
+						dispatch(carry)
+					}
+				} else {
+					readErr = rerr
+				}
+				return
+			}
+		}
+	}()
+
+	records := 0
+	for j := range order {
+		res := <-j.done
+		for i := range res.recs {
+			emit(res.recs[i])
+		}
+		records += len(res.recs)
+		malformed += res.bad
+	}
+	wg.Wait()
+	metricRecords.Add(int64(records))
+	metricMalformed.Add(int64(malformed))
+	// order is closed only after readErr is set, so this read is ordered.
+	if readErr != nil {
+		return malformed, fmt.Errorf("clf: read: %w", readErr)
+	}
+	return malformed, nil
+}

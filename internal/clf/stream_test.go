@@ -1,0 +1,136 @@
+package clf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamMatchesReadAll pins the sequential streaming reader to ReadAll:
+// same records in the same order, same malformed count.
+func TestStreamMatchesReadAll(t *testing.T) {
+	log := synthLog(21, 3000)
+	want, wantBad, err := ReadAll(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	gotBad, err := Stream(strings.NewReader(log), func(rec Record) { got = append(got, rec) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBad != wantBad || len(got) != len(want) {
+		t.Fatalf("got %d/%d, want %d/%d", len(got), gotBad, len(want), wantBad)
+	}
+	for i := range got {
+		if !recordsMatch(got[i], want[i]) {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamParallelMatchesReadAll pins the bounded pipeline for every
+// workers/depth combination, including small chunk sizes that force lines
+// across chunk boundaries.
+func TestStreamParallelMatchesReadAll(t *testing.T) {
+	for _, seed := range []int64{4, 11} {
+		log := synthLog(seed, 4000)
+		want, wantBad, err := ReadAll(strings.NewReader(log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, depth := range []int{1, 2, 8} {
+				for _, chunk := range []int{64, 4096, readChunkSize} {
+					var got []Record
+					gotBad, err := streamParallel(strings.NewReader(log), workers, depth, chunk,
+						func(rec Record) { got = append(got, rec) })
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotBad != wantBad || len(got) != len(want) {
+						t.Fatalf("seed=%d workers=%d depth=%d chunk=%d: got %d/%d, want %d/%d",
+							seed, workers, depth, chunk, len(got), gotBad, len(want), wantBad)
+					}
+					for i := range got {
+						if !recordsMatch(got[i], want[i]) {
+							t.Fatalf("seed=%d workers=%d depth=%d chunk=%d: record %d differs:\n%+v\n%+v",
+								seed, workers, depth, chunk, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamParallelPartialOnReadError mirrors the ReadAllParallel contract:
+// records delivered before a read error are emitted, and the error is
+// returned after them.
+func TestStreamParallelPartialOnReadError(t *testing.T) {
+	log := synthLog(9, 300)
+	want, _, seqErr := ReadAll(&chunkFailReader{data: []byte(log)})
+	var got []Record
+	_, parErr := StreamParallel(&chunkFailReader{data: []byte(log)}, 4, 2,
+		func(rec Record) { got = append(got, rec) })
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("want read errors, got %v / %v", seqErr, parErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partial records: stream %d, sequential %d", len(got), len(want))
+	}
+}
+
+// TestStreamParallelOversizedLine: a line above the 1 MiB cap fails the
+// streaming reader the same way it fails the Scanner.
+func TestStreamParallelOversizedLine(t *testing.T) {
+	huge := strings.Repeat("a", maxLineBytes+2)
+	_, seqErr := Stream(strings.NewReader(huge), func(Record) {})
+	_, parErr := StreamParallel(strings.NewReader(huge), 4, 2, func(Record) {})
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("oversized line: sequential err=%v, parallel err=%v (want both non-nil)", seqErr, parErr)
+	}
+}
+
+// FuzzStreamChunks pins the chunk splitter/reassembler against the
+// sequential Scanner for arbitrary byte input, tiny chunk sizes, and any
+// workers/depth: no line is ever dropped, duplicated, or split, including
+// CR/LF edge cases and lines longer than the chunk size. Equivalence of the
+// record sequence plus the malformed count implies all three — a dropped or
+// duplicated line changes a count, a split line changes both parses.
+func FuzzStreamChunks(f *testing.F) {
+	f.Add([]byte(sampleLine+"\n"+sampleLine), uint8(4), uint8(2), uint8(1))
+	f.Add([]byte("garbage\r\n\r\n"+sampleLine+"\r\n"), uint8(1), uint8(3), uint8(2))
+	f.Add([]byte(sampleLine+` "/r.html" "agent"`+"\n\n"+sampleLine), uint8(16), uint8(2), uint8(8))
+	f.Add([]byte(strings.Repeat("x", 300)+"\n"+sampleLine+"\n"), uint8(7), uint8(5), uint8(1))
+	f.Add([]byte("\n\r\n \t\n"), uint8(2), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, input []byte, chunkSize, workers, depth uint8) {
+		if len(input) > 1<<16 {
+			return
+		}
+		// Chunks of 1..64 bytes force every boundary case; workers >= 2 so
+		// the parallel path (not the Stream fallback) is exercised.
+		chunk := int(chunkSize)%64 + 1
+		w := int(workers)%4 + 2
+		d := int(depth)%4 + 1
+
+		want, wantBad, wantErr := ReadAll(bytes.NewReader(input))
+		var got []Record
+		gotBad, gotErr := streamParallel(bytes.NewReader(input), w, d, chunk,
+			func(rec Record) { got = append(got, rec) })
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: scanner %v, stream %v", wantErr, gotErr)
+		}
+		if gotBad != wantBad {
+			t.Fatalf("malformed count %d, want %d", gotBad, wantBad)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d records, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if !recordsMatch(got[i], want[i]) {
+				t.Fatalf("record %d differs:\n%+v\n%+v", i, got[i], want[i])
+			}
+		}
+	})
+}

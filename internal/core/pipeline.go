@@ -63,6 +63,15 @@ type Config struct {
 	// value. Zero keeps the legacy sequential behaviour; negative means
 	// GOMAXPROCS.
 	Workers int
+	// StreamDepth is the depth of the in-order delivery channel used by the
+	// bounded-memory streaming ingestion path (Tail.Ingest,
+	// ShardedTail.Ingest): how many parsed ~1 MiB chunks may be in flight
+	// between the log reader and the session processor. Together with
+	// Workers it caps the streaming path's heap at roughly
+	// (StreamDepth + Workers) chunks, independent of log length. <= 0 means
+	// clf.DefaultStreamDepth. The value never changes the output, only the
+	// memory/throughput trade.
+	StreamDepth int
 }
 
 // effectiveWorkers resolves the Workers knob: 0 → 1 (sequential zero
@@ -76,6 +85,14 @@ func (c Config) effectiveWorkers() int {
 	default:
 		return c.Workers
 	}
+}
+
+// effectiveStreamDepth resolves the StreamDepth knob.
+func (c Config) effectiveStreamDepth() int {
+	if c.StreamDepth <= 0 {
+		return clf.DefaultStreamDepth
+	}
+	return c.StreamDepth
 }
 
 // Pipeline is an immutable, reusable log-to-sessions processor. It is safe

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled scales down the bounded-memory workload under -race.
+const raceEnabled = false

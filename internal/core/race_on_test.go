@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled scales down the bounded-memory workload under -race, which
+// slows parsing roughly an order of magnitude.
+const raceEnabled = true

@@ -100,6 +100,9 @@ func (st *ShardedTail) Buffered() int {
 
 // Expire finalizes every user whose last request is more than ρ before now,
 // merging shard outputs into global user order (identical to Tail.Expire).
+// Shards expire concurrently, each under its own lock, so a large Expire
+// does not serialize behind every shard in turn and concurrent Push calls
+// only ever wait for their own shard's slice of the work.
 func (st *ShardedTail) Expire(now time.Time) []session.Session {
 	return st.drain(func(t *Tail) []session.Session { return t.Expire(now) })
 }
@@ -110,16 +113,40 @@ func (st *ShardedTail) Flush() []session.Session {
 	return st.drain((*Tail).Flush)
 }
 
-// drain runs f on every shard and merges the outputs into user order. Each
-// shard's output is already sorted by user and a user lives in exactly one
-// shard, so a stable sort on user restores the global order a single Tail
-// would have produced, without disturbing each user's session order.
+// drain runs f on every shard — concurrently, each under its own lock — and
+// merges the outputs into user order. Per-shard results are collected into
+// a slot per shard and concatenated in shard order before the merge, so the
+// result is identical to the old sequential drain: each shard's output is
+// already sorted by user and a user lives in exactly one shard, so a stable
+// sort on user restores the global order a single Tail would have produced,
+// without disturbing each user's session order.
 func (st *ShardedTail) drain(f func(*Tail) []session.Session) []session.Session {
-	var out []session.Session
-	for _, sh := range st.shards {
+	parts := make([][]session.Session, len(st.shards))
+	if len(st.shards) == 1 {
+		sh := st.shards[0]
 		sh.mu.Lock()
-		out = append(out, f(sh.tail)...)
+		parts[0] = f(sh.tail)
 		sh.mu.Unlock()
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range st.shards {
+			wg.Add(1)
+			go func(i int, sh *tailShard) {
+				defer wg.Done()
+				sh.mu.Lock()
+				parts[i] = f(sh.tail)
+				sh.mu.Unlock()
+			}(i, sh)
+		}
+		wg.Wait()
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]session.Session, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].User < out[j].User })
 	return out

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"smartsra/internal/clf"
 	"smartsra/internal/heuristics"
@@ -157,6 +158,148 @@ func TestShardedTailConcurrentFeeders(t *testing.T) {
 	}
 	if rs, ss := ref.Stats(), st.Stats(); rs != ss {
 		t.Fatalf("stats differ: tail %+v, sharded %+v", rs, ss)
+	}
+}
+
+// TestShardedTailConcurrentExpireInterleaving pins the overlapped Expire
+// drain: while several feeders push the second half of a time-shifted log,
+// several other goroutines concurrently Expire the first half (whose bursts
+// are all ρ-complete), poll Buffered/Stats, and finally two goroutines race
+// Flush. The construction makes the outcome deterministic — every
+// first-half burst is separated from its user's second half by > ρ, so
+// whether Expire or the user's next Push closes it, the burst's entries
+// (and therefore its sessions) are identical — and the union of everything
+// emitted must equal the sequential single-Tail multiset. Run under -race
+// this also pins the per-shard locking of the concurrent drain.
+func TestShardedTailConcurrentExpireInterleaving(t *testing.T) {
+	g, phase1 := simulatedLog(t, 13, 90)
+
+	// Second phase: the same traffic shifted 3ρ past the end of phase one,
+	// so every user's cross-phase gap exceeds ρ and Expire(mid) can never
+	// touch an open second-phase burst.
+	rho := session.DefaultPageStay
+	minT, maxT := phase1[0].Time, phase1[0].Time
+	for _, rec := range phase1 {
+		if rec.Time.Before(minT) {
+			minT = rec.Time
+		}
+		if rec.Time.After(maxT) {
+			maxT = rec.Time
+		}
+	}
+	shift := maxT.Sub(minT) + 3*rho
+	phase2 := make([]clf.Record, len(phase1))
+	for i, rec := range phase1 {
+		rec.Time = rec.Time.Add(shift)
+		phase2[i] = rec
+	}
+	mid := maxT.Add(rho + time.Second)
+
+	// Sequential reference: one Tail, both phases in order, one Flush.
+	ref, err := NewTail(Config{Graph: g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []session.Session
+	for _, rec := range append(append([]clf.Record(nil), phase1...), phase2...) {
+		want = append(want, ref.Push(rec)...)
+	}
+	want = append(want, ref.Flush()...)
+
+	st, err := NewShardedTail(Config{Graph: g}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu  sync.Mutex
+		got []session.Session
+	)
+	emit := func(s []session.Session) {
+		if len(s) == 0 {
+			return
+		}
+		mu.Lock()
+		got = append(got, s...)
+		mu.Unlock()
+	}
+	const feeders = 5
+	partition := func(records []clf.Record) [][]clf.Record {
+		parts := make([][]clf.Record, feeders)
+		for _, rec := range records {
+			f := shardOf(rec.Host, feeders)
+			parts[f] = append(parts[f], rec)
+		}
+		return parts
+	}
+
+	// Phase one: concurrent feeders only (no Expire yet — a mid-phase
+	// expiry could close a half-arrived burst and break determinism).
+	var wg sync.WaitGroup
+	for _, part := range partition(phase1) {
+		wg.Add(1)
+		go func(part []clf.Record) {
+			defer wg.Done()
+			for _, rec := range part {
+				emit(st.Push(rec))
+			}
+		}(part)
+	}
+	wg.Wait()
+
+	// Phase two: feeders, three concurrent expirers of the completed first
+	// phase, and metric readers, all interleaving freely.
+	for _, part := range partition(phase2) {
+		wg.Add(1)
+		go func(part []clf.Record) {
+			defer wg.Done()
+			for _, rec := range part {
+				emit(st.Push(rec))
+			}
+		}(part)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			emit(st.Expire(mid))
+			st.Buffered()
+			st.Stats()
+			emit(st.Expire(mid))
+		}()
+	}
+	wg.Wait()
+
+	// Racing flushes: every remaining burst closes exactly once, split
+	// arbitrarily between the two callers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			emit(st.Flush())
+		}()
+	}
+	wg.Wait()
+
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d sessions, sequential tail %d", len(got), len(want))
+	}
+	count := make(map[string]int)
+	for _, s := range want {
+		count[s.String()]++
+	}
+	for _, s := range got {
+		count[s.String()]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("session multiset differs at %q (%+d)", k, c)
+		}
+	}
+	if rs, ss := ref.Stats(), st.Stats(); rs != ss {
+		t.Fatalf("stats differ: tail %+v, sharded %+v", rs, ss)
+	}
+	if st.Buffered() != 0 {
+		t.Fatalf("buffered after flush = %d", st.Buffered())
 	}
 }
 

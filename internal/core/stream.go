@@ -1,0 +1,53 @@
+package core
+
+import (
+	"io"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/session"
+)
+
+// SessionSink consumes sessions as they finalize during streaming
+// ingestion. Implementations must not retain the slice past the call.
+type SessionSink func([]session.Session)
+
+// DiscardSessions is the sink for callers that only want the side effects
+// (metrics, stats) of streaming ingestion.
+func DiscardSessions([]session.Session) {}
+
+// Ingest streams a CLF log into the Tail through the bounded-memory
+// parallel parser: the input is parsed in line-aligned chunks on
+// Config.Workers goroutines and delivered in input order through a channel
+// of depth Config.StreamDepth straight into Push, so heap stays bounded by
+// (workers + depth) chunks no matter how long the log is — nothing is
+// materialized. sink receives sessions as records finalize them (nil means
+// DiscardSessions); it runs on the calling goroutine. The Tail is NOT
+// flushed: call Flush (or keep pushing) afterwards, matching live-tail use.
+//
+// The emitted sessions are byte-identical to pushing clf.ReadAll's records
+// one by one, for any workers/depth — the golden-corpus and fuzz harnesses
+// pin this.
+func (t *Tail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
+	return ingest(r, t.cfg, sink, t.Push)
+}
+
+// Ingest is Tail.Ingest on the sharded processor. Parsing fans out over
+// Config.Workers; Push itself is invoked from the single delivery
+// goroutine, so per-user arrival order — the determinism contract — is
+// preserved while the parse stage runs at full parallelism. Concurrent
+// Push/Expire from other goroutines remains safe during ingestion.
+func (st *ShardedTail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
+	return ingest(r, st.cfg, sink, st.Push)
+}
+
+// ingest wires clf.StreamParallel into a push function.
+func ingest(r io.Reader, cfg Config, sink SessionSink, push func(clf.Record) []session.Session) (int, error) {
+	if sink == nil {
+		sink = DiscardSessions
+	}
+	return clf.StreamParallel(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), func(rec clf.Record) {
+		if out := push(rec); len(out) > 0 {
+			sink(out)
+		}
+	})
+}
