@@ -8,18 +8,33 @@
 //	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
 //	      [-sessions sessions.txt] [-shards 0] [-expire-every 30s]
 //	      [-backfill old.log] [-workers N] [-stream-depth D]
+//	      [-checkpoint state.ckpt] [-checkpoint-every 10s]
 //
 // The log flushes on every request batch, and Ctrl-C (SIGINT/SIGTERM)
 // shuts down gracefully, flushing every still-buffered session when
-// -sessions is active (use a file and tail -f to watch). Runtime counters — requests
-// served, log lines written, and any pipeline metrics the process
-// accumulates — are exposed as plain text at /debug/metrics.
+// -sessions is active (use a file and tail -f to watch). SIGHUP reopens
+// the -log and -sessions files for logrotate-style rotation without
+// dropping records. Runtime counters — requests served, log lines written,
+// write errors, retry/dead-letter/checkpoint events — are exposed as plain
+// text at /debug/metrics.
 //
 // With -sessions the server also sessionizes its own traffic live: every
 // logged request is pushed into a core.ShardedTail (Smart-SRA), finalized
-// sessions are appended to the given file as they close, and a background
-// ticker expires quiet users every -expire-every so their sessions are not
-// held forever.
+// sessions are appended to the given file as they close (through a
+// core.RetrySink, so transient write failures are retried and persistent
+// ones land in <sessions>.deadletter instead of vanishing), and a
+// background ticker expires quiet users every -expire-every so their
+// sessions are not held forever.
+//
+// With -checkpoint the server periodically snapshots the sessionizer's
+// open-burst state together with the access-log and session-file offsets
+// (atomic, CRC-protected writes). On restart it restores the snapshot,
+// truncates the session file to the recorded offset, and replays the
+// access log from the recorded offset — sessions across a crash are
+// emitted exactly once. A corrupt or stale checkpoint is detected and
+// recovery falls back to a full replay of the access log. -checkpoint
+// needs -log and -sessions (the offsets refer to those files) and replaces
+// -backfill (recovery replays the log anyway).
 //
 // -backfill streams an existing access log through the same sessionizer
 // before serving begins, so the live tail starts with history already in
@@ -34,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"smartsra/internal/checkpoint"
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/metrics"
@@ -49,35 +66,71 @@ import (
 	"smartsra/internal/webserver"
 )
 
-// metricRequests counts access-log records written by this server.
-var metricRequests = metrics.GetCounter("serve.requests")
+var (
+	// metricRequests counts access-log records written by this server.
+	metricRequests = metrics.GetCounter("serve.requests")
+	// metricLogWriteErrors counts requests whose access-log write failed —
+	// silent data loss made alertable.
+	metricLogWriteErrors = metrics.GetCounter("serve.log_write_errors")
+	// metricSessionWriteErrors counts failed session-file write attempts
+	// (before any retry succeeds or dead-letters).
+	metricSessionWriteErrors = metrics.GetCounter("serve.session_write_errors")
+)
+
+type options struct {
+	topoPath    string
+	addr        string
+	logPath     string
+	combined    bool
+	sessPath    string
+	shards      int
+	expireEvery time.Duration
+	backfill    string
+	workers     int
+	depth       int
+	ckptPath    string
+	ckptEvery   time.Duration
+}
 
 func main() {
-	var (
-		topoPath    = flag.String("topology", "", "topology JSON written by simgen (required)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		logPath     = flag.String("log", "", "access log file (default: stderr)")
-		combined    = flag.Bool("combined", false, "write Combined Log Format")
-		sessPath    = flag.String("sessions", "", "sessionize traffic live, appending finalized sessions to this file")
-		shards      = flag.Int("shards", 0, "ShardedTail shard count for -sessions (0 = all cores)")
-		expireEvery = flag.Duration("expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
-		backfill    = flag.String("backfill", "", "existing access log to stream through the sessionizer before serving (needs -sessions)")
-		workers     = flag.Int("workers", 0, "parse goroutines for -backfill (0 sequential, -1 all cores)")
-		depth       = flag.Int("stream-depth", 0, "in-flight parsed chunks for -backfill (0 = default; bounds backfill heap, never changes output)")
-	)
+	var o options
+	flag.StringVar(&o.topoPath, "topology", "", "topology JSON written by simgen (required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.logPath, "log", "", "access log file (default: stderr)")
+	flag.BoolVar(&o.combined, "combined", false, "write Combined Log Format")
+	flag.StringVar(&o.sessPath, "sessions", "", "sessionize traffic live, appending finalized sessions to this file")
+	flag.IntVar(&o.shards, "shards", 0, "ShardedTail shard count for -sessions (0 = all cores)")
+	flag.DurationVar(&o.expireEvery, "expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
+	flag.StringVar(&o.backfill, "backfill", "", "existing access log to stream through the sessionizer before serving (needs -sessions)")
+	flag.IntVar(&o.workers, "workers", 0, "parse goroutines for -backfill and checkpoint replay (0 sequential, -1 all cores)")
+	flag.IntVar(&o.depth, "stream-depth", 0, "in-flight parsed chunks for replay (0 = default; bounds replay heap, never changes output)")
+	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file (needs -log and -sessions)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 10*time.Second, "how often to snapshot state for -checkpoint")
 	flag.Parse()
-	if *topoPath == "" {
+	if o.topoPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *addr, *logPath, *combined, *sessPath, *shards, *expireEvery, *backfill, *workers, *depth); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, addr, logPath string, combined bool, sessPath string, shards int, expireEvery time.Duration, backfill string, workers, depth int) error {
-	tf, err := os.Open(topoPath)
+func run(o options) error {
+	if o.ckptPath != "" {
+		if o.logPath == "" || o.sessPath == "" {
+			return fmt.Errorf("-checkpoint needs -log and -sessions (its offsets refer to those files)")
+		}
+		if o.backfill != "" {
+			return fmt.Errorf("-checkpoint replaces -backfill (recovery replays the access log)")
+		}
+	}
+	if o.backfill != "" && o.sessPath == "" {
+		return fmt.Errorf("-backfill needs -sessions (there is nowhere to put the sessions)")
+	}
+
+	tf, err := os.Open(o.topoPath)
 	if err != nil {
 		return err
 	}
@@ -87,88 +140,460 @@ func run(topoPath, addr, logPath string, combined bool, sessPath string, shards 
 		return err
 	}
 
-	out := os.Stderr
-	if logPath != "" {
-		out, err = os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s := &server{g: g, combined: o.combined, logPath: o.logPath, sessPath: o.sessPath}
+	out := io.Writer(os.Stderr)
+	if o.logPath != "" {
+		f, err := os.OpenFile(o.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
-		defer out.Close()
+		defer f.Close()
+		s.logFile = f
+		out = f
 	}
-	var w *clf.Writer
-	if combined {
-		w = clf.NewCombinedWriter(out)
-	} else {
-		w = clf.NewWriter(out)
-	}
-	sink := webserver.NewWriterSink(w)
+	s.sink = webserver.NewWriterSink(newLogWriter(out, o.combined))
 
-	var tee *sessionTee
-	if sessPath != "" {
-		sf, err := os.OpenFile(sessPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if o.sessPath != "" {
+		st, err := core.NewShardedTail(core.Config{Graph: g, Workers: o.workers, StreamDepth: o.depth}, 0, o.shards)
+		if err != nil {
+			return err
+		}
+		sf, err := os.OpenFile(o.sessPath, os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}
 		defer sf.Close()
-		st, err := core.NewShardedTail(core.Config{Graph: g, Workers: workers, StreamDepth: depth}, 0, shards)
+		dl, err := os.OpenFile(o.sessPath+".deadletter", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
-		tee = &sessionTee{st: st, w: bufio.NewWriter(sf)}
-		if backfill != "" {
-			if err := tee.backfill(backfill); err != nil {
+		defer dl.Close()
+		s.tee, err = newSessionTee(st, sf, dl)
+		if err != nil {
+			return err
+		}
+
+		if o.ckptPath != "" {
+			s.ckpt = checkpoint.NewWriter(checkpoint.OS, o.ckptPath, o.ckptEvery)
+			if err := s.recoverFromCheckpoint(); err != nil {
+				return err
+			}
+		} else if o.backfill != "" {
+			if err := s.tee.backfill(o.backfill); err != nil {
 				return err
 			}
 		}
-		if expireEvery > 0 {
-			go tee.expireLoop(expireEvery)
-		}
-		defer func() { tee.emit(st.Flush()) }()
-	} else if backfill != "" {
-		return fmt.Errorf("-backfill needs -sessions (there is nowhere to put the sessions)")
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", metrics.Handler())
-	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{sink, tee}, time.Now))
+	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{s}, time.Now))
 	fmt.Printf("serving %s on %s (log: %s, format: %s, metrics: /debug/metrics)\n",
-		g, addr, orStderr(logPath), format(combined))
-	if sessPath != "" {
+		g, o.addr, orStderr(o.logPath), format(o.combined))
+	if s.tee != nil {
 		fmt.Printf("sessionizing live to %s (%d shards, expire every %v)\n",
-			sessPath, tee.st.Shards(), expireEvery)
+			o.sessPath, s.tee.st.Shards(), o.expireEvery)
 	}
-	// Serve until SIGINT/SIGTERM, then shut down gracefully so the deferred
+	if s.ckpt != nil {
+		fmt.Printf("checkpointing to %s every %v\n", o.ckptPath, o.ckptEvery)
+	}
+
+	// Background loops stop through done and are awaited before the final
+	// flush, so a late Expire or checkpoint can never interleave with it.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	if s.tee != nil && o.expireEvery > 0 {
+		wg.Add(1)
+		go s.expireLoop(o.expireEvery, done, &wg)
+	}
+	if s.ckpt != nil {
+		wg.Add(1)
+		go s.checkpointLoop(o.ckptEvery, done, &wg)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			fmt.Println("caught SIGHUP, reopening log files")
+			s.rotate()
+		}
+	}()
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully so the final
 	// ShardedTail flush writes every still-buffered session.
-	srv := &http.Server{Addr: addr, Handler: mux}
+	srv := &http.Server{Addr: o.addr, Handler: mux}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		close(done)
+		wg.Wait()
 		return err
 	case sig := <-stop:
 		fmt.Printf("caught %v, shutting down\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return err
+		shutdownErr := srv.Shutdown(ctx)
+		close(done)
+		wg.Wait()
+		if s.tee != nil {
+			s.tee.emit(s.tee.st.Flush())
+		}
+		if s.ckpt != nil {
+			s.mu.Lock()
+			if err := s.saveCheckpointLocked(); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: final checkpoint:", err)
+			}
+			s.mu.Unlock()
+		}
+		if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+			return shutdownErr
 		}
 		return nil
 	}
 }
 
+// server bundles the live state the request path, the background loops, and
+// rotation/checkpointing contend over. mu is the consistency boundary: the
+// request path and the expire loop hold it shared while mutating log +
+// sessionizer + session file, checkpoint saves and SIGHUP rotation hold it
+// exclusively, so every checkpoint observes the three artifacts at a single
+// consistent cut.
+type server struct {
+	mu       sync.RWMutex
+	g        *webgraph.Graph
+	combined bool
+
+	logPath string
+	logFile *os.File // nil when logging to stderr
+	sink    *webserver.WriterSink
+
+	sessPath string
+	tee      *sessionTee // nil without -sessions
+
+	ckpt *checkpoint.Writer // nil without -checkpoint
+}
+
+func newLogWriter(out io.Writer, combined bool) *clf.Writer {
+	if combined {
+		return clf.NewCombinedWriter(out)
+	}
+	return clf.NewWriter(out)
+}
+
+// recoverFromCheckpoint brings the sessionizer back to a state consistent
+// with the access log: restore the latest valid snapshot, truncate the
+// session file to the recorded offset (dropping the crashed run's
+// post-checkpoint writes the replay will re-emit), and replay the log from
+// the recorded offset. A missing, corrupt, or stale checkpoint degrades to
+// a full replay from offset zero — never to loading bad state.
+func (s *server) recoverFromCheckpoint() error {
+	ck, reason, err := checkpoint.Resume(checkpoint.OS, s.ckpt.Path())
+	if err != nil {
+		return err
+	}
+	if reason != "" {
+		fmt.Fprintln(os.Stderr, "serve: checkpoint unusable, replaying full log:", reason)
+	}
+	if err := s.repairLogTail(); err != nil {
+		return err
+	}
+	logInfo, err := s.logFile.Stat()
+	if err != nil {
+		return err
+	}
+	sessInfo, err := s.tee.f.Stat()
+	if err != nil {
+		return err
+	}
+	var logOff, sinkOff int64
+	if ck != nil {
+		switch {
+		case ck.LogOffset > logInfo.Size() || ck.SinkOffset > sessInfo.Size():
+			fmt.Fprintf(os.Stderr, "serve: checkpoint is ahead of %s/%s (rotated?), replaying full log\n",
+				s.logPath, s.sessPath)
+		default:
+			if err := s.tee.st.Restore(ck.Tail); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: checkpoint rejected, replaying full log:", err)
+			} else {
+				logOff, sinkOff = ck.LogOffset, ck.SinkOffset
+			}
+		}
+	}
+	if err := s.tee.resetTo(sinkOff); err != nil {
+		return err
+	}
+
+	lf, err := os.Open(s.logPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	if _, err := lf.Seek(logOff, io.SeekStart); err != nil {
+		return err
+	}
+	// Replay through the bounded-memory streaming reader, checkpointing as
+	// we go so a crash during a long recovery does not restart it from
+	// scratch.
+	malformed, err := s.tee.st.IngestOffsets(bufio.NewReader(lf), s.tee.emit, func(off int64) {
+		s.ckpt.MaybeSave(func() *checkpoint.Checkpoint {
+			return s.buildCheckpoint(logOff + off)
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", s.logPath, err)
+	}
+	if err := s.ckpt.Save(s.buildCheckpoint(logInfo.Size())); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: checkpoint:", err)
+	}
+	stats := s.tee.st.Stats()
+	fmt.Printf("recovered from %s: replayed %d bytes of %s (records=%d malformed=%d sessions=%d)\n",
+		s.ckpt.Path(), logInfo.Size()-logOff, s.logPath, stats.Records, malformed, stats.Sessions)
+	return nil
+}
+
+// repairLogTail terminates a torn final line a crashed run may have left in
+// the access log, so freshly served records do not concatenate onto it.
+func (s *server) repairLogTail() error {
+	info, err := s.logFile.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	f, err := os.Open(s.logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, info.Size()-1); err != nil {
+		return err
+	}
+	if last[0] != '\n' {
+		if _, err := s.logFile.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildCheckpoint assembles a checkpoint at the given access-log offset. The
+// caller guarantees no concurrent pushes (exclusive lock, or single-threaded
+// recovery), so the session-file sync, the offset, and the snapshot are one
+// consistent cut.
+func (s *server) buildCheckpoint(logOff int64) *checkpoint.Checkpoint {
+	sinkOff, err := s.tee.syncSize()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve: session file sync:", err)
+	}
+	return &checkpoint.Checkpoint{
+		LogOffset:  logOff,
+		SinkOffset: sinkOff,
+		Tail:       s.tee.st.Snapshot(),
+	}
+}
+
+// saveCheckpointLocked flushes and syncs the access log, then snapshots.
+// Caller holds s.mu exclusively.
+func (s *server) saveCheckpointLocked() error {
+	if err := s.sink.Flush(); err != nil {
+		return err
+	}
+	if err := s.logFile.Sync(); err != nil {
+		return err
+	}
+	info, err := s.logFile.Stat()
+	if err != nil {
+		return err
+	}
+	return s.ckpt.Save(s.buildCheckpoint(info.Size()))
+}
+
+// checkpointLoop periodically snapshots state until done closes.
+func (s *server) checkpointLoop(every time.Duration, done chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.mu.Lock()
+			err := s.saveCheckpointLocked()
+			s.mu.Unlock()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve: checkpoint:", err)
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// expireLoop periodically finalizes quiet users so a user who leaves still
+// gets their last session written. The shared lock keeps expire-emitted
+// sessions inside the checkpoint consistency cut; the stoppable ticker is
+// torn down (and awaited) before the final flush, so a late Expire can
+// never interleave with it.
+func (s *server) expireLoop(every time.Duration, done chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.mu.RLock()
+			s.tee.emit(s.tee.st.Expire(time.Now()))
+			s.mu.RUnlock()
+		case <-done:
+			return
+		}
+	}
+}
+
+// rotate reopens the access-log and session files in place (SIGHUP /
+// logrotate). Under the exclusive lock no request is mid-write, so no
+// record or session is dropped; a fresh checkpoint is saved immediately
+// because the old one's offsets refer to the rotated-away files.
+func (s *server) rotate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logFile != nil {
+		if err := s.sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: log flush on rotate:", err)
+		}
+		f, err := os.OpenFile(s.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: reopen log:", err)
+		} else {
+			old := s.logFile
+			s.logFile = f
+			s.sink.Reset(newLogWriter(f, s.combined))
+			old.Close()
+		}
+	}
+	if s.tee != nil {
+		if err := s.tee.rotate(s.sessPath); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: reopen sessions:", err)
+		}
+	}
+	if s.ckpt != nil {
+		if err := s.saveCheckpointLocked(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: checkpoint after rotate:", err)
+		}
+	}
+}
+
 // sessionTee pushes every logged record into a ShardedTail and appends
-// finalized sessions to a file. Push is lock-free across shards; only the
-// file write is serialized.
+// finalized sessions to a file through a RetrySink: transient write
+// failures back off and retry, persistent ones are journaled to the
+// dead-letter file, and every outcome is counted. The file is managed by
+// known-good offset — before each attempt the file is truncated back to the
+// last complete batch, so a torn write from a failed attempt is healed by
+// its own retry instead of corrupting the file.
 type sessionTee struct {
-	st *core.ShardedTail
-	mu sync.Mutex
-	w  *bufio.Writer
+	st   *core.ShardedTail
+	sink *core.RetrySink
+
+	mu   sync.Mutex
+	f    *os.File
+	good int64 // session-file bytes known to hold only complete batches
+}
+
+func newSessionTee(st *core.ShardedTail, f *os.File, deadLetter io.Writer) (*sessionTee, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	t := &sessionTee{st: st, f: f, good: info.Size()}
+	t.sink = core.NewRetrySink(t.writeBatch, core.RetryOptions{DeadLetter: deadLetter})
+	return t, nil
 }
 
 // push feeds one record and writes whatever sessions it finalized.
 func (t *sessionTee) push(rec clf.Record) { t.emit(t.st.Push(rec)) }
+
+// emit appends finalized sessions to the sessions file, with retries.
+func (t *sessionTee) emit(sessions []session.Session) { t.sink.Emit(sessions) }
+
+// writeBatch is the RetrySink's write function: one batch, atomic at the
+// known-good offset.
+func (t *sessionTee) writeBatch(batch []session.Session) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := func() error {
+		if err := t.f.Truncate(t.good); err != nil {
+			return err
+		}
+		if _, err := t.f.Seek(t.good, io.SeekStart); err != nil {
+			return err
+		}
+		if err := session.WriteAll(t.f, batch); err != nil {
+			return err
+		}
+		off, err := t.f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		t.good = off
+		return nil
+	}()
+	if err != nil {
+		metricSessionWriteErrors.Inc()
+	}
+	return err
+}
+
+// resetTo truncates the session file to off (recovery: discard everything
+// the replay will re-emit).
+func (t *sessionTee) resetTo(off int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := t.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	t.good = off
+	return nil
+}
+
+// syncSize flushes the session file to stable storage and returns its
+// known-good size — the SinkOffset a checkpoint records.
+func (t *sessionTee) syncSize() (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.good, t.f.Sync()
+}
+
+// rotate reopens the session file at path (SIGHUP). Caller holds the
+// server's exclusive lock, so no emit is in flight.
+func (t *sessionTee) rotate(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(info.Size(), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	t.mu.Lock()
+	old := t.f
+	t.f = f
+	t.good = info.Size()
+	t.mu.Unlock()
+	return old.Close()
+}
 
 // backfill streams an existing access log through the sessionizer before
 // the server starts, in bounded heap regardless of the log's size. Bursts
@@ -190,47 +615,31 @@ func (t *sessionTee) backfill(path string) error {
 	return nil
 }
 
-// emit appends finalized sessions to the sessions file.
-func (t *sessionTee) emit(sessions []session.Session) {
-	if len(sessions) == 0 {
-		return
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := session.WriteAll(t.w, sessions); err == nil {
-		err = t.w.Flush()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "serve: session write:", err)
-		}
-	} else {
-		fmt.Fprintln(os.Stderr, "serve: session write:", err)
-	}
-}
-
-// expireLoop periodically finalizes quiet users so a user who leaves still
-// gets their last session written.
-func (t *sessionTee) expireLoop(every time.Duration) {
-	for range time.Tick(every) {
-		t.emit(t.st.Expire(time.Now()))
-	}
-}
-
 // flushAfter flushes the log after every record so tail -f works, and tees
-// each record into the live sessionizer when one is configured.
+// each record into the live sessionizer when one is configured. The whole
+// per-record sequence runs under the server's shared lock so checkpoints
+// never observe a half-applied request.
 type flushAfter struct {
-	sink *webserver.WriterSink
-	tee  *sessionTee
+	s *server
 }
 
 // Record implements webserver.LogSink.
 func (f flushAfter) Record(r clf.Record) {
+	// CLF timestamps have second precision, and the access log is the
+	// source of truth crash recovery replays from — so the live sessionizer
+	// must see exactly the timestamp a replay would parse, or sessions
+	// reconstructed across a restart could split differently.
+	r.Time = r.Time.Truncate(time.Second)
+	f.s.mu.RLock()
+	defer f.s.mu.RUnlock()
 	metricRequests.Inc()
-	f.sink.Record(r)
-	if err := f.sink.Flush(); err != nil {
+	f.s.sink.Record(r)
+	if err := f.s.sink.Flush(); err != nil {
+		metricLogWriteErrors.Inc()
 		fmt.Fprintln(os.Stderr, "serve: log write:", err)
 	}
-	if f.tee != nil {
-		f.tee.push(r)
+	if f.s.tee != nil {
+		f.s.tee.push(r)
 	}
 }
 

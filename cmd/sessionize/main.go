@@ -8,6 +8,7 @@
 //	sessionize -topology topology.json -log access.log [-heuristic heur4]
 //	           [-no-clean] [-stats-only] [-workers N]
 //	           [-stream] [-stream-depth D] [-shards S]
+//	           [-sessions out.txt] [-checkpoint state.ckpt] [-checkpoint-every 5s]
 //
 // -stream switches to bounded-memory streaming ingestion: the log is parsed
 // in line-aligned chunks on -workers goroutines, delivered in input order
@@ -17,14 +18,27 @@
 // logs far larger than RAM (or stdin pipes that never end). Sessions are
 // emitted in finalization order rather than batch order; for Smart-SRA and
 // the time-gap heuristic the session contents are identical to batch mode.
+//
+// -checkpoint makes a streaming run crash-safe: state is periodically
+// snapshotted (open bursts + byte offsets, atomic CRC-protected writes),
+// and a rerun of the same command restores the latest valid snapshot,
+// truncates the -sessions file to the recorded offset, and resumes the log
+// from where the snapshot left off — the finished session file is
+// byte-identical to an uninterrupted run. It needs -stream, -sessions (a
+// truncatable output file instead of stdout), and a real -log file (the
+// resume offset seeks into it, so stdin won't do). A corrupt or truncated
+// checkpoint is detected and the run falls back to a full replay.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	"smartsra/internal/checkpoint"
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/heuristics"
@@ -44,19 +58,33 @@ func main() {
 		stream    = flag.Bool("stream", false, "bounded-memory streaming ingestion: sessions print as they finalize, heap independent of log size")
 		depth     = flag.Int("stream-depth", 0, "in-flight parsed chunks for -stream (0 = default; memory/throughput trade, never changes output)")
 		shards    = flag.Int("shards", 0, "streaming sessionizer shard count for -stream (0 = all cores)")
+		sessPath  = flag.String("sessions", "", "write sessions to this file instead of stdout (required by -checkpoint)")
+		ckptPath  = flag.String("checkpoint", "", "crash-recovery checkpoint file for -stream (resume an interrupted run exactly)")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "how often to snapshot state for -checkpoint")
 	)
 	flag.Parse()
 	if *topoPath == "" || *logPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers, *stream, *depth, *shards); err != nil {
+	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers, *stream, *depth, *shards, *sessPath, *ckptPath, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, stream bool, depth, shards int) error {
+func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, stream bool, depth, shards int, sessPath, ckptPath string, ckptEvery time.Duration) error {
+	if ckptPath != "" {
+		if !stream {
+			return fmt.Errorf("-checkpoint needs -stream (batch mode has no incremental state to save)")
+		}
+		if sessPath == "" {
+			return fmt.Errorf("-checkpoint needs -sessions (recovery truncates the output file, stdout can't be)")
+		}
+		if logPath == "-" {
+			return fmt.Errorf("-checkpoint needs a real -log file (the resume offset seeks into it)")
+		}
+	}
 	tf, err := os.Open(topoPath)
 	if err != nil {
 		return err
@@ -92,7 +120,10 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 		cfg.Filter = clf.KeepAll
 	}
 	if stream {
-		return runStream(cfg, shards, in, statsOnly)
+		if ckptPath != "" {
+			return runStreamCheckpointed(cfg, shards, in, sessPath, ckptPath, ckptEvery)
+		}
+		return runStream(cfg, shards, in, statsOnly, sessPath)
 	}
 	pipeline, err := core.NewPipeline(cfg)
 	if err != nil {
@@ -103,7 +134,7 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 		return err
 	}
 	if !statsOnly {
-		if err := session.WriteAll(os.Stdout, res.Sessions); err != nil {
+		if err := writeSessions(sessPath, res.Sessions); err != nil {
 			return err
 		}
 	}
@@ -119,12 +150,20 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 // reader, writing each session the moment its burst closes. Heap usage is
 // independent of log length, so this path handles logs larger than RAM and
 // never-ending stdin pipes.
-func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool) error {
+func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool, sessPath string) error {
 	st, err := core.NewShardedTail(cfg, 0, shards)
 	if err != nil {
 		return err
 	}
-	out := bufio.NewWriter(os.Stdout)
+	dst := os.Stdout
+	if sessPath != "" {
+		dst, err = os.Create(sessPath)
+		if err != nil {
+			return err
+		}
+		defer dst.Close()
+	}
+	out := bufio.NewWriter(dst)
 	sink := core.DiscardSessions
 	if !statsOnly {
 		sink = func(s []session.Session) {
@@ -142,13 +181,145 @@ func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool) error {
 	if err := out.Flush(); err != nil {
 		return err
 	}
+	printStreamStats(cfg, st, malformed)
+	return nil
+}
+
+// runStreamCheckpointed is runStream made crash-safe: it resumes from the
+// latest valid checkpoint (restoring the sessionizer and truncating the
+// session file to the recorded offset, so the replayed log suffix re-emits
+// exactly the sessions the interruption cut off) and snapshots periodically
+// at chunk boundaries while streaming. A missing, corrupt, or stale
+// checkpoint falls back to a full run from the start of the log.
+func runStreamCheckpointed(cfg core.Config, shards int, in *os.File, sessPath, ckptPath string, every time.Duration) error {
+	st, err := core.NewShardedTail(cfg, 0, shards)
+	if err != nil {
+		return err
+	}
+	ck, reason, err := checkpoint.Resume(checkpoint.OS, ckptPath)
+	if err != nil {
+		return err
+	}
+	if reason != "" {
+		fmt.Fprintln(os.Stderr, "sessionize: checkpoint unusable, starting over:", reason)
+	}
+	sf, err := os.OpenFile(sessPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	logInfo, err := in.Stat()
+	if err != nil {
+		return err
+	}
+	sessInfo, err := sf.Stat()
+	if err != nil {
+		return err
+	}
+
+	var logOff, sinkOff int64
+	if ck != nil {
+		switch {
+		case ck.LogOffset > logInfo.Size() || ck.SinkOffset > sessInfo.Size():
+			fmt.Fprintln(os.Stderr, "sessionize: checkpoint is ahead of the log or session file, starting over")
+		default:
+			if err := st.Restore(ck.Tail); err != nil {
+				fmt.Fprintln(os.Stderr, "sessionize: checkpoint rejected, starting over:", err)
+			} else {
+				logOff, sinkOff = ck.LogOffset, ck.SinkOffset
+			}
+		}
+	}
+	if err := sf.Truncate(sinkOff); err != nil {
+		return err
+	}
+	if _, err := sf.Seek(sinkOff, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := in.Seek(logOff, io.SeekStart); err != nil {
+		return err
+	}
+	if logOff > 0 {
+		fmt.Fprintf(os.Stderr, "sessionize: resuming %s from byte %d (session file at %d)\n",
+			logInfo.Name(), logOff, sinkOff)
+	}
+
+	w := checkpoint.NewWriter(checkpoint.OS, ckptPath, every)
+	good := sinkOff
+	var sinkErr error
+	malformed, err := st.IngestOffsets(bufio.NewReader(in), func(s []session.Session) {
+		if sinkErr != nil {
+			return
+		}
+		if sinkErr = session.WriteAll(sf, s); sinkErr == nil {
+			good, sinkErr = sf.Seek(0, io.SeekCurrent)
+		}
+	}, func(off int64) {
+		if sinkErr != nil {
+			return
+		}
+		// A failed save only costs recovery granularity: the previous
+		// checkpoint file stays valid (atomic rename), so keep streaming.
+		if _, err := w.MaybeSave(func() *checkpoint.Checkpoint {
+			if err := sf.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "sessionize: session file sync:", err)
+			}
+			return &checkpoint.Checkpoint{LogOffset: logOff + off, SinkOffset: good, Tail: st.Snapshot()}
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "sessionize: checkpoint:", err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	if err := session.WriteAll(sf, st.Flush()); err != nil {
+		return err
+	}
+	if err := sf.Sync(); err != nil {
+		return err
+	}
+	// The run is complete: record that, so a rerun replays nothing.
+	end, err := in.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	good, err = sf.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	if err := w.Save(&checkpoint.Checkpoint{LogOffset: end, SinkOffset: good, Tail: st.Snapshot()}); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionize: final checkpoint:", err)
+	}
+	printStreamStats(cfg, st, malformed)
+	return nil
+}
+
+func printStreamStats(cfg core.Config, st *core.ShardedTail, malformed int) {
 	stats := st.Stats()
 	stats.Malformed = malformed
 	if d, ok := cfg.Heuristic.(heuristics.Describer); ok {
 		fmt.Fprintf(os.Stderr, "heuristic: %s — %s\n", cfg.Heuristic.Name(), d.Describe())
 	}
 	fmt.Fprintf(os.Stderr, "pipeline:  %s (streaming)\n", stats)
-	return nil
+}
+
+// writeSessions writes the batch result to sessPath, or stdout when empty.
+func writeSessions(sessPath string, sessions []session.Session) error {
+	if sessPath == "" {
+		return session.WriteAll(os.Stdout, sessions)
+	}
+	f, err := os.Create(sessPath)
+	if err != nil {
+		return err
+	}
+	if err := session.WriteAll(f, sessions); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runReferrer sessionizes a combined-format log by referrer chaining.

@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem behavior checkpointing needs. Production code
+// uses OS; tests substitute a fault-injecting implementation (see
+// internal/faultio) to exercise short writes, failed syncs, and failed
+// renames without touching a real disk's failure modes.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// semantics) open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (cleanup of abandoned temp files).
+	Remove(name string) error
+	// ReadFile returns the full contents of a file.
+	ReadFile(name string) ([]byte, error)
+}
+
+// File is the writable handle CreateTemp returns. Sync must flush to stable
+// storage — Save's durability claim rests on syncing before the rename.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OS is the real-filesystem FS.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }

@@ -1,0 +1,58 @@
+package checkpoint
+
+import "time"
+
+// Writer rate-limits checkpoint saves for a streaming caller that reaches a
+// consistent point far more often than a snapshot is worth taking (every
+// chunk boundary, every request). It is not safe for concurrent use; callers
+// invoke it from the goroutine that owns the sessionizer state.
+type Writer struct {
+	// Now is the clock; nil means time.Now. Tests inject a fake to exercise
+	// the rate limit deterministically.
+	Now func() time.Time
+
+	fsys  FS
+	path  string
+	every time.Duration
+	last  time.Time
+	err   error
+}
+
+// NewWriter returns a Writer that saves to path via fsys at most once per
+// every (every <= 0 saves on every MaybeSave call).
+func NewWriter(fsys FS, path string, every time.Duration) *Writer {
+	return &Writer{fsys: fsys, path: path, every: every}
+}
+
+// Path returns the checkpoint file path the writer targets.
+func (w *Writer) Path() string { return w.path }
+
+// Save writes a checkpoint unconditionally and resets the rate-limit clock.
+// A failed save leaves the previous on-disk checkpoint intact (Save in this
+// package is atomic), so the writer records the error and carries on — a
+// flaky disk degrades recovery granularity, it does not stop ingestion.
+func (w *Writer) Save(ck *Checkpoint) error {
+	w.last = w.now()
+	w.err = Save(w.fsys, w.path, ck)
+	return w.err
+}
+
+// MaybeSave saves if at least the configured interval elapsed since the last
+// save. build is only invoked when a save is due, so callers can defer the
+// (lock-taking) snapshot work to it.
+func (w *Writer) MaybeSave(build func() *Checkpoint) (saved bool, err error) {
+	if now := w.now(); !w.last.IsZero() && now.Sub(w.last) < w.every {
+		return false, nil
+	}
+	return true, w.Save(build())
+}
+
+// Err returns the most recent Save error, or nil if the last save landed.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) now() time.Time {
+	if w.Now != nil {
+		return w.Now()
+	}
+	return time.Now()
+}

@@ -1,0 +1,116 @@
+package clf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamParallelOffsetsLineAligned pins the replay contract of the
+// progress callback: offsets arrive strictly increasing, each one sits on a
+// line boundary of the input, and the final offset is the input's full
+// length.
+func TestStreamParallelOffsetsLineAligned(t *testing.T) {
+	log := synthLog(5, 2500)
+	for _, workers := range []int{1, 3} {
+		for _, chunk := range []int{128, 4096, readChunkSize} {
+			var offsets []int64
+			records := 0
+			_, err := streamParallel(strings.NewReader(log), workers, 2, chunk,
+				func(Record) { records++ },
+				func(off int64) { offsets = append(offsets, off) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(offsets) == 0 {
+				t.Fatalf("workers=%d chunk=%d: no offsets reported", workers, chunk)
+			}
+			var prev int64
+			for _, off := range offsets {
+				if off <= prev && !(off == prev && off == int64(len(log))) {
+					t.Fatalf("workers=%d chunk=%d: offsets not increasing: %d after %d", workers, chunk, off, prev)
+				}
+				if off != int64(len(log)) && log[off-1] != '\n' {
+					t.Fatalf("workers=%d chunk=%d: offset %d not on a line boundary", workers, chunk, off)
+				}
+				prev = off
+			}
+			if offsets[len(offsets)-1] != int64(len(log)) {
+				t.Fatalf("workers=%d chunk=%d: final offset %d, want %d",
+					workers, chunk, offsets[len(offsets)-1], len(log))
+			}
+		}
+	}
+}
+
+// TestStreamParallelOffsetsResume pins what recovery relies on: streaming the
+// suffix of the input from any reported offset yields exactly the records not
+// yet emitted when that offset was reported — no loss, no duplicates.
+func TestStreamParallelOffsetsResume(t *testing.T) {
+	log := synthLog(17, 1200)
+	want, _, err := ReadAll(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type boundary struct {
+		off  int64
+		seen int // records emitted when off was reported
+	}
+	var bounds []boundary
+	seen := 0
+	if _, err := streamParallel(strings.NewReader(log), 4, 2, 512,
+		func(Record) { seen++ },
+		func(off int64) { bounds = append(bounds, boundary{off, seen}) }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(want) {
+		t.Fatalf("emitted %d records, want %d", seen, len(want))
+	}
+
+	for _, b := range bounds {
+		var got []Record
+		if _, err := StreamParallel(strings.NewReader(log[b.off:]), 2, 2,
+			func(rec Record) { got = append(got, rec) }); err != nil {
+			t.Fatal(err)
+		}
+		rest := want[b.seen:]
+		if len(got) != len(rest) {
+			t.Fatalf("resume from %d: %d records, want %d", b.off, len(got), len(rest))
+		}
+		for i := range got {
+			if !recordsMatch(got[i], rest[i]) {
+				t.Fatalf("resume from %d: record %d differs:\n%+v\n%+v", b.off, i, got[i], rest[i])
+			}
+		}
+	}
+}
+
+// TestStreamParallelOffsetsSingleWorker: a non-nil progress forces the
+// chunked pipeline even at workers == 1, and its output still matches the
+// sequential reader.
+func TestStreamParallelOffsetsSingleWorker(t *testing.T) {
+	log := synthLog(23, 800)
+	want, wantBad, err := ReadAll(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	fired := 0
+	gotBad, err := StreamParallelOffsets(strings.NewReader(log), 1, 2,
+		func(rec Record) { got = append(got, rec) },
+		func(int64) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("progress never fired with workers=1")
+	}
+	if gotBad != wantBad || len(got) != len(want) {
+		t.Fatalf("got %d/%d, want %d/%d", len(got), gotBad, len(want), wantBad)
+	}
+	for i := range got {
+		if !recordsMatch(got[i], want[i]) {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, got[i], want[i])
+		}
+	}
+}

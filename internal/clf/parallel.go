@@ -36,7 +36,7 @@ func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int,
 	// only appends, so backpressure would just idle workers.
 	malformed, err = streamParallel(r, workers, 4*workers, readChunkSize, func(rec Record) {
 		records = append(records, rec)
-	})
+	}, nil)
 	return records, malformed, err
 }
 

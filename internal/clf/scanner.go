@@ -35,6 +35,14 @@ type Scanner struct {
 	lineNo  int
 	bad     int
 	badErrs []*ParseError
+	// in is the string-intern arena shared with the chunk-parallel path,
+	// scoped to ~readChunkSize bytes of input (tracked by inBytes) so an
+	// unbounded log never grows an unbounded table. Real logs repeat hosts,
+	// URIs, referers, and agents constantly; interning makes the sequential
+	// reader's []byte→string conversions amortized allocation-free, matching
+	// the parallel path.
+	in      *internTable
+	inBytes int
 }
 
 // maxRetainedErrors caps how many ParseErrors a Scanner keeps; beyond this
@@ -64,7 +72,12 @@ func (s *Scanner) Scan() bool {
 		if isBlankBytes(line) {
 			continue
 		}
-		rec, _, err := ParseAnyRecordBytes(line)
+		if s.in == nil || s.inBytes >= readChunkSize {
+			s.in = newInternTable()
+			s.inBytes = 0
+		}
+		s.inBytes += len(line) + 1
+		rec, _, err := parseAnyRecordBytesIn(line, s.in)
 		if err != nil {
 			s.bad++
 			metricMalformed.Inc()

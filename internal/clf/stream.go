@@ -46,7 +46,31 @@ func Stream(r io.Reader, emit func(Record)) (malformed int, err error) {
 // calling goroutine; workers <= 0 means GOMAXPROCS, workers == 1 degrades
 // to the sequential Stream, depth <= 0 means DefaultStreamDepth.
 func StreamParallel(r io.Reader, workers, depth int, emit func(Record)) (malformed int, err error) {
-	return streamParallel(r, workers, depth, readChunkSize, emit)
+	return streamParallel(r, workers, depth, readChunkSize, emit, nil)
+}
+
+// StreamParallelOffsets is StreamParallel with replay-offset reporting for
+// checkpointing consumers: after the last record of each line-aligned chunk
+// has been emitted, progress is called (on the same goroutine as emit) with
+// the byte offset just past that chunk, relative to the start of r. Every
+// reported offset sits on a line boundary, so a reader that seeks there and
+// resumes streaming sees exactly the records not yet emitted — the property
+// crash recovery replays depend on. With a non-nil progress the chunked
+// pipeline runs even for workers == 1 (the emitted sequence is identical;
+// only offsets are added).
+func StreamParallelOffsets(r io.Reader, workers, depth int, emit func(Record), progress func(offset int64)) (malformed int, err error) {
+	return streamParallel(r, workers, depth, readChunkSize, emit, progress)
+}
+
+// StreamParallelOffsetsChunked is StreamParallelOffsets with an explicit
+// chunk size. Progress boundaries fall at chunk ends, so callers tuning
+// checkpoint granularity (or tests forcing many boundaries on small inputs)
+// pick the chunk size; chunkBytes <= 0 means the default ~1 MiB.
+func StreamParallelOffsetsChunked(r io.Reader, workers, depth, chunkBytes int, emit func(Record), progress func(offset int64)) (malformed int, err error) {
+	if chunkBytes <= 0 {
+		chunkBytes = readChunkSize
+	}
+	return streamParallel(r, workers, depth, chunkBytes, emit, progress)
 }
 
 // parsedChunk is one chunk's parse result.
@@ -56,9 +80,11 @@ type parsedChunk struct {
 }
 
 // streamJob carries one line-aligned chunk through the pipeline. done is
-// 1-buffered so a worker never blocks handing its result back.
+// 1-buffered so a worker never blocks handing its result back. end is the
+// byte offset just past the chunk, relative to the start of the input.
 type streamJob struct {
 	data []byte
+	end  int64
 	done chan parsedChunk
 }
 
@@ -70,11 +96,13 @@ type streamJob struct {
 // fixed buffer is the backpressure bound); the calling goroutine drains
 // order in FIFO — input order — waiting on each job's own done channel, so
 // delivery order never depends on worker scheduling.
-func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record)) (malformed int, err error) {
+func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record), progress func(int64)) (malformed int, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
+	// The sequential degrade has no chunk boundaries to report, so offset
+	// consumers stay on the chunked pipeline even single-threaded.
+	if workers == 1 && progress == nil {
 		return Stream(r, emit)
 	}
 	if depth <= 0 {
@@ -103,8 +131,13 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 	go func() {
 		defer close(order)
 		defer close(work)
+		// Dispatched chunks partition the consumed input prefix exactly, so
+		// the running sum of their lengths is the absolute byte offset each
+		// chunk ends at.
+		var off int64
 		dispatch := func(data []byte) {
-			j := &streamJob{data: data, done: make(chan parsedChunk, 1)}
+			off += int64(len(data))
+			j := &streamJob{data: data, end: off, done: make(chan parsedChunk, 1)}
 			order <- j
 			work <- j
 		}
@@ -152,6 +185,9 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 		}
 		records += len(res.recs)
 		malformed += res.bad
+		if progress != nil {
+			progress(j.end)
+		}
 	}
 	wg.Wait()
 	metricRecords.Add(int64(records))

@@ -44,7 +44,7 @@ func TestStreamParallelMatchesReadAll(t *testing.T) {
 				for _, chunk := range []int{64, 4096, readChunkSize} {
 					var got []Record
 					gotBad, err := streamParallel(strings.NewReader(log), workers, depth, chunk,
-						func(rec Record) { got = append(got, rec) })
+						func(rec Record) { got = append(got, rec) }, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -117,7 +117,7 @@ func FuzzStreamChunks(f *testing.F) {
 		want, wantBad, wantErr := ReadAll(bytes.NewReader(input))
 		var got []Record
 		gotBad, gotErr := streamParallel(bytes.NewReader(input), w, d, chunk,
-			func(rec Record) { got = append(got, rec) })
+			func(rec Record) { got = append(got, rec) }, nil)
 		if (wantErr == nil) != (gotErr == nil) {
 			t.Fatalf("error mismatch: scanner %v, stream %v", wantErr, gotErr)
 		}

@@ -72,6 +72,11 @@ type Config struct {
 	// clf.DefaultStreamDepth. The value never changes the output, only the
 	// memory/throughput trade.
 	StreamDepth int
+	// StreamChunkBytes is the streaming reader's chunk size, which is also
+	// the granularity of IngestOffsets progress callbacks — and therefore of
+	// checkpoints. <= 0 means the clf default (~1 MiB). Like StreamDepth it
+	// never changes the output.
+	StreamChunkBytes int
 }
 
 // effectiveWorkers resolves the Workers knob: 0 → 1 (sequential zero

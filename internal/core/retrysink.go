@@ -1,0 +1,153 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"smartsra/internal/metrics"
+	"smartsra/internal/session"
+)
+
+// RetrySink instrumentation, labeled by event kind so /debug/metrics exposes
+// one series per outcome under a single base name:
+//
+//	core.retrysink.events{kind="retry"}      write attempts repeated after a failure
+//	core.retrysink.events{kind="recovery"}   batches that succeeded after >= 1 retry
+//	core.retrysink.events{kind="deadletter"} sessions journaled after retries were exhausted
+//	core.retrysink.events{kind="dropped"}    sessions lost entirely (no journal, or the journal failed too)
+var (
+	metricRetrySinkWrites = metrics.GetCounter(metrics.WithLabels(
+		"core.retrysink.events", "kind", "write"))
+	metricRetrySinkRetries = metrics.GetCounter(metrics.WithLabels(
+		"core.retrysink.events", "kind", "retry"))
+	metricRetrySinkRecoveries = metrics.GetCounter(metrics.WithLabels(
+		"core.retrysink.events", "kind", "recovery"))
+	metricRetrySinkDeadLetters = metrics.GetCounter(metrics.WithLabels(
+		"core.retrysink.events", "kind", "deadletter"))
+	metricRetrySinkDropped = metrics.GetCounter(metrics.WithLabels(
+		"core.retrysink.events", "kind", "dropped"))
+)
+
+// RetryOptions tunes a RetrySink. The zero value gives production defaults.
+type RetryOptions struct {
+	// MaxAttempts is the total number of write attempts per batch, the first
+	// one included. <= 0 means 5.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per retry.
+	// <= 0 means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. <= 0 means 1s.
+	MaxDelay time.Duration
+	// Sleep is the backoff clock; nil means time.Sleep. Tests inject a fake
+	// to keep retry paths instant.
+	Sleep func(time.Duration)
+	// DeadLetter receives batches whose retries were exhausted, in the
+	// session text format (re-ingestable with session.ReadAll). nil means
+	// exhausted batches are dropped — still counted, never silent.
+	DeadLetter io.Writer
+}
+
+func (o RetryOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 5
+	}
+	return o.MaxAttempts
+}
+
+func (o RetryOptions) baseDelay() time.Duration {
+	if o.BaseDelay <= 0 {
+		return 10 * time.Millisecond
+	}
+	return o.BaseDelay
+}
+
+func (o RetryOptions) maxDelay() time.Duration {
+	if o.MaxDelay <= 0 {
+		return time.Second
+	}
+	return o.MaxDelay
+}
+
+// RetrySink hardens a session sink against transient write failures: each
+// batch is retried with bounded exponential backoff, and a batch that still
+// fails is journaled to a dead-letter writer instead of vanishing. Every
+// outcome is counted (see the core.retrysink.events series), so a sink that
+// starts failing is visible on /debug/metrics instead of silently discarding
+// finalized sessions.
+//
+// Emit is safe for concurrent use; batches are written one at a time, so a
+// slow or failing underlying writer backpressures producers rather than
+// interleaving partial lines.
+type RetrySink struct {
+	mu      sync.Mutex
+	write   func([]session.Session) error
+	opts    RetryOptions
+	lastErr error
+}
+
+// NewRetrySink wraps a fallible batch write. Use (*RetrySink).Emit wherever a
+// SessionSink is expected.
+func NewRetrySink(write func([]session.Session) error, opts RetryOptions) *RetrySink {
+	return &RetrySink{write: write, opts: opts}
+}
+
+// Emit writes one batch, retrying on failure and dead-lettering on
+// exhaustion. It satisfies SessionSink and must not retain the slice.
+func (s *RetrySink) Emit(batch []session.Session) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sleep := s.opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for attempt := 0; attempt < s.opts.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			metricRetrySinkRetries.Inc()
+			sleep(s.backoff(attempt))
+		}
+		if err = s.write(batch); err == nil {
+			metricRetrySinkWrites.Inc()
+			if attempt > 0 {
+				metricRetrySinkRecoveries.Inc()
+			}
+			return
+		}
+	}
+	s.lastErr = err
+	if s.opts.DeadLetter != nil {
+		if dlErr := session.WriteAll(s.opts.DeadLetter, batch); dlErr == nil {
+			metricRetrySinkDeadLetters.Add(int64(len(batch)))
+			return
+		}
+	}
+	metricRetrySinkDropped.Add(int64(len(batch)))
+}
+
+// Err returns the most recent exhausted-retries error, or nil when every
+// batch so far landed (possibly after retries).
+func (s *RetrySink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// backoff is the delay before retry number attempt (1-based): BaseDelay
+// doubled per retry, capped at MaxDelay.
+func (s *RetrySink) backoff(attempt int) time.Duration {
+	d := s.opts.baseDelay()
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= s.opts.maxDelay() {
+			return s.opts.maxDelay()
+		}
+	}
+	if d > s.opts.maxDelay() {
+		return s.opts.maxDelay()
+	}
+	return d
+}

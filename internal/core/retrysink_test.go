@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"smartsra/internal/session"
+	"smartsra/internal/webgraph"
+)
+
+func testBatch(user string, pages ...int) []session.Session {
+	s := session.Session{User: user}
+	base := time.Unix(1000, 0).UTC()
+	for i, p := range pages {
+		s.Entries = append(s.Entries, session.Entry{Page: webgraph.PageID(p), Time: base.Add(time.Duration(i) * time.Second)})
+	}
+	return []session.Session{s}
+}
+
+// TestRetrySinkRecoversFromTransientFailures: a write that fails twice then
+// succeeds loses nothing, records the retries and the recovery, and backs off
+// exponentially between attempts.
+func TestRetrySinkRecoversFromTransientFailures(t *testing.T) {
+	retriesBefore := metricRetrySinkRetries.Value()
+	recoveriesBefore := metricRetrySinkRecoveries.Value()
+
+	var buf bytes.Buffer
+	fails := 2
+	var delays []time.Duration
+	sink := NewRetrySink(func(s []session.Session) error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return session.WriteAll(&buf, s)
+	}, RetryOptions{
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Sleep:     func(d time.Duration) { delays = append(delays, d) },
+	})
+
+	batch := testBatch("10.0.0.1", 3, 14, 15)
+	sink.Emit(batch)
+	if err := sink.Err(); err != nil {
+		t.Fatalf("Err() = %v after recovery, want nil", err)
+	}
+	var want bytes.Buffer
+	session.WriteAll(&want, batch)
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Fatalf("sink wrote %q, want %q", buf.Bytes(), want.Bytes())
+	}
+	if len(delays) != 2 || delays[0] != 10*time.Millisecond || delays[1] != 20*time.Millisecond {
+		t.Fatalf("backoff delays = %v, want [10ms 20ms]", delays)
+	}
+	if got := metricRetrySinkRetries.Value() - retriesBefore; got != 2 {
+		t.Errorf("retry counter moved by %d, want 2", got)
+	}
+	if got := metricRetrySinkRecoveries.Value() - recoveriesBefore; got != 1 {
+		t.Errorf("recovery counter moved by %d, want 1", got)
+	}
+}
+
+// TestRetrySinkDeadLetters: a persistently failing write journals the batch
+// in the re-ingestable session text format and surfaces the error via Err.
+func TestRetrySinkDeadLetters(t *testing.T) {
+	deadBefore := metricRetrySinkDeadLetters.Value()
+
+	var journal bytes.Buffer
+	sink := NewRetrySink(func([]session.Session) error {
+		return errors.New("disk full")
+	}, RetryOptions{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		DeadLetter:  &journal,
+	})
+
+	batch := testBatch("10.0.0.2", 1, 2)
+	sink.Emit(batch)
+	if err := sink.Err(); err == nil || err.Error() != "disk full" {
+		t.Fatalf("Err() = %v, want disk full", err)
+	}
+	got, err := session.ReadAll(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("dead-letter journal does not re-ingest: %v", err)
+	}
+	if len(got) != 1 || got[0].String() != batch[0].String() {
+		t.Fatalf("journal holds %v, want %v", got, batch)
+	}
+	if gotN := metricRetrySinkDeadLetters.Value() - deadBefore; gotN != 1 {
+		t.Errorf("deadletter counter moved by %d, want 1", gotN)
+	}
+}
+
+// TestRetrySinkDropsAreCounted: with no journal (or a failing one), exhausted
+// batches are dropped but the loss is visible in the dropped counter.
+func TestRetrySinkDropsAreCounted(t *testing.T) {
+	droppedBefore := metricRetrySinkDropped.Value()
+	sink := NewRetrySink(func([]session.Session) error {
+		return errors.New("nope")
+	}, RetryOptions{MaxAttempts: 2, Sleep: func(time.Duration) {}})
+	sink.Emit(testBatch("10.0.0.3", 7))
+	sink.Emit(testBatch("10.0.0.4", 8, 9))
+	if got := metricRetrySinkDropped.Value() - droppedBefore; got != 2 {
+		t.Errorf("dropped counter moved by %d, want 2", got)
+	}
+
+	failingJournal := NewRetrySink(func([]session.Session) error {
+		return errors.New("nope")
+	}, RetryOptions{
+		MaxAttempts: 1,
+		Sleep:       func(time.Duration) {},
+		DeadLetter:  failWriter{},
+	})
+	droppedBefore = metricRetrySinkDropped.Value()
+	failingJournal.Emit(testBatch("10.0.0.5", 1))
+	if got := metricRetrySinkDropped.Value() - droppedBefore; got != 1 {
+		t.Errorf("dropped counter (failing journal) moved by %d, want 1", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("journal broken") }
+
+// TestRetrySinkBackoffCap: the backoff never exceeds MaxDelay no matter how
+// many retries run.
+func TestRetrySinkBackoffCap(t *testing.T) {
+	var delays []time.Duration
+	sink := NewRetrySink(func([]session.Session) error {
+		return errors.New("always")
+	}, RetryOptions{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Sleep:       func(d time.Duration) { delays = append(delays, d) },
+	})
+	sink.Emit(testBatch("10.0.0.6", 2))
+	if len(delays) != 7 {
+		t.Fatalf("%d delays, want 7", len(delays))
+	}
+	want := []time.Duration{10, 20, 40, 50, 50, 50, 50}
+	for i, d := range delays {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %v (all: %v)", i, d, want[i]*time.Millisecond, delays)
+		}
+	}
+}
+
+// TestRetrySinkConcurrentEmits: concurrent producers never interleave lines
+// of different batches (pinned under -race by the suite's race run).
+func TestRetrySinkConcurrentEmits(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewRetrySink(func(s []session.Session) error {
+		return session.WriteAll(&buf, s)
+	}, RetryOptions{Sleep: func(time.Duration) {}})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				sink.Emit(testBatch(fmt.Sprintf("10.1.%d.%d", g, i), 1, 2, 3))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	got, err := session.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("concurrent emits corrupted output: %v", err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("%d sessions written, want 200", len(got))
+	}
+}

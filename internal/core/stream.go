@@ -28,7 +28,17 @@ func DiscardSessions([]session.Session) {}
 // one by one, for any workers/depth — the golden-corpus and fuzz harnesses
 // pin this.
 func (t *Tail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
-	return ingest(r, t.cfg, sink, t.Push)
+	return ingest(r, t.cfg, sink, t.Push, nil)
+}
+
+// IngestOffsets is Ingest with replay-offset reporting for checkpointing
+// callers: progress runs on the delivery goroutine after every line-aligned
+// chunk, with the byte offset (relative to r's start) whose records — and
+// the sessions they finalized — have been fully pushed and sunk. At that
+// moment Snapshot() is exactly consistent with the offset, which is the
+// invariant crash recovery needs.
+func (t *Tail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset int64)) (malformed int, err error) {
+	return ingest(r, t.cfg, sink, t.Push, progress)
 }
 
 // Ingest is Tail.Ingest on the sharded processor. Parsing fans out over
@@ -37,17 +47,22 @@ func (t *Tail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) 
 // preserved while the parse stage runs at full parallelism. Concurrent
 // Push/Expire from other goroutines remains safe during ingestion.
 func (st *ShardedTail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
-	return ingest(r, st.cfg, sink, st.Push)
+	return ingest(r, st.cfg, sink, st.Push, nil)
 }
 
-// ingest wires clf.StreamParallel into a push function.
-func ingest(r io.Reader, cfg Config, sink SessionSink, push func(clf.Record) []session.Session) (int, error) {
+// IngestOffsets is Tail.IngestOffsets on the sharded processor.
+func (st *ShardedTail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset int64)) (malformed int, err error) {
+	return ingest(r, st.cfg, sink, st.Push, progress)
+}
+
+// ingest wires clf.StreamParallelOffsets into a push function.
+func ingest(r io.Reader, cfg Config, sink SessionSink, push func(clf.Record) []session.Session, progress func(int64)) (int, error) {
 	if sink == nil {
 		sink = DiscardSessions
 	}
-	return clf.StreamParallel(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), func(rec clf.Record) {
+	return clf.StreamParallelOffsetsChunked(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), cfg.StreamChunkBytes, func(rec clf.Record) {
 		if out := push(rec); len(out) > 0 {
 			sink(out)
 		}
-	})
+	}, progress)
 }

@@ -1,0 +1,195 @@
+// Package faultio injects I/O faults on a deterministic schedule, so tests
+// can drive writers and filesystems through the failure modes real disks
+// exhibit — transient errors, torn (short) writes, stalls — without flaky
+// timing or OS-specific tricks. A Schedule maps each operation's call number
+// to a fault decision; everything else is plain wrapping.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"smartsra/internal/checkpoint"
+)
+
+// ErrInjected is the error every injected fault returns, wrapped with
+// context; tests distinguish injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Fault is the fate of a single I/O operation.
+type Fault int
+
+const (
+	// OK passes the operation through untouched.
+	OK Fault = iota
+	// Fail rejects the operation with ErrInjected, no side effects.
+	Fail
+	// Short performs the first half of a write, then returns ErrInjected —
+	// a torn write, the failure mode atomic rename must mask.
+	Short
+)
+
+// Schedule decides the fate of the call-th operation (0-based, counted per
+// wrapped object and per operation kind). A nil Schedule means all OK.
+type Schedule func(call int) Fault
+
+// FailAfter returns a schedule whose first n calls succeed and whose later
+// calls all fail — the "disk died mid-run" shape.
+func FailAfter(n int) Schedule {
+	return func(call int) Fault {
+		if call < n {
+			return OK
+		}
+		return Fail
+	}
+}
+
+// FaultAt returns a schedule applying fault at exactly the given call
+// numbers and OK elsewhere.
+func FaultAt(fault Fault, calls ...int) Schedule {
+	return func(call int) Fault {
+		for _, c := range calls {
+			if call == c {
+				return fault
+			}
+		}
+		return OK
+	}
+}
+
+// Writer wraps an io.Writer, consulting a schedule before every Write and
+// optionally stalling (a slow device) on each call. Safe for use from one
+// goroutine, like the writers it wraps.
+type Writer struct {
+	W        io.Writer
+	Schedule Schedule
+	// Delay, when nonzero, is slept before every write — a slow sink for
+	// backpressure tests.
+	Delay time.Duration
+
+	calls int
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	call := w.calls
+	w.calls++
+	if w.Delay > 0 {
+		time.Sleep(w.Delay)
+	}
+	switch fault(w.Schedule, call) {
+	case Fail:
+		return 0, errorf("write %d", call)
+	case Short:
+		n, err := w.W.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, errorf("short write %d", call)
+	}
+	return w.W.Write(p)
+}
+
+// Calls returns how many Write calls the writer has seen.
+func (w *Writer) Calls() int { return w.calls }
+
+// FS wraps a checkpoint.FS, injecting faults into file writes, syncs, and
+// renames on independent schedules. Call counters are per-kind and shared
+// across all files the FS creates, so a schedule addresses "the 3rd write
+// this test performs" regardless of temp-file naming. Safe for concurrent
+// use.
+type FS struct {
+	// Base is the underlying filesystem; nil means checkpoint.OS.
+	Base checkpoint.FS
+	// WriteFaults, SyncFaults, and RenameFaults schedule faults for the
+	// corresponding operations; nil schedules never fault.
+	WriteFaults  Schedule
+	SyncFaults   Schedule
+	RenameFaults Schedule
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+}
+
+func (f *FS) base() checkpoint.FS {
+	if f.Base == nil {
+		return checkpoint.OS
+	}
+	return f.Base
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (checkpoint.File, error) {
+	file, err := f.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	call := f.renames
+	f.renames++
+	f.mu.Unlock()
+	if fault(f.RenameFaults, call) != OK {
+		return errorf("rename %d", call)
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error             { return f.base().Remove(name) }
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.base().ReadFile(name) }
+
+type faultFile struct {
+	checkpoint.File
+	fs *FS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	call := ff.fs.writes
+	ff.fs.writes++
+	ff.fs.mu.Unlock()
+	switch fault(ff.fs.WriteFaults, call) {
+	case Fail:
+		return 0, errorf("file write %d", call)
+	case Short:
+		n, err := ff.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, errorf("short file write %d", call)
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	call := ff.fs.syncs
+	ff.fs.syncs++
+	ff.fs.mu.Unlock()
+	if fault(ff.fs.SyncFaults, call) != OK {
+		return errorf("sync %d", call)
+	}
+	return ff.File.Sync()
+}
+
+func fault(s Schedule, call int) Fault {
+	if s == nil {
+		return OK
+	}
+	return s(call)
+}
+
+func errorf(format string, args ...any) error {
+	return &injectedError{op: fmt.Sprintf(format, args...)}
+}
+
+type injectedError struct{ op string }
+
+func (e *injectedError) Error() string { return "faultio: injected fault: " + e.op }
+func (e *injectedError) Unwrap() error { return ErrInjected }

@@ -1,0 +1,50 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriterSchedules(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Schedule: func(call int) Fault {
+		switch call {
+		case 1:
+			return Fail
+		case 2:
+			return Short
+		default:
+			return OK
+		}
+	}}
+
+	if n, err := w.Write([]byte("aaaa")); n != 4 || err != nil {
+		t.Fatalf("call 0: (%d, %v), want clean write", n, err)
+	}
+	if n, err := w.Write([]byte("bbbb")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 1: (%d, %v), want injected failure", n, err)
+	}
+	if n, err := w.Write([]byte("cccc")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: (%d, %v), want torn write of 2 bytes", n, err)
+	}
+	if n, err := w.Write([]byte("dddd")); n != 4 || err != nil {
+		t.Fatalf("call 3: (%d, %v), want clean write", n, err)
+	}
+	if got := buf.String(); got != "aaaaccdddd" {
+		t.Fatalf("underlying buffer %q, want %q", got, "aaaaccdddd")
+	}
+	if w.Calls() != 4 {
+		t.Fatalf("Calls() = %d, want 4", w.Calls())
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	s := FailAfter(2)
+	want := []Fault{OK, OK, Fail, Fail}
+	for i, f := range want {
+		if s(i) != f {
+			t.Fatalf("FailAfter(2)(%d) = %v, want %v", i, s(i), f)
+		}
+	}
+}

@@ -126,6 +126,16 @@ func (s *WriterSink) Flush() error {
 	return s.err
 }
 
+// Reset points the sink at a new writer and clears any latched error —
+// log-rotation support: the server swaps in a writer on the freshly
+// reopened file and logging resumes even if the old file had gone bad.
+func (s *WriterSink) Reset(w *clf.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w = w
+	s.err = nil
+}
+
 // Err returns the first write error, if any.
 func (s *WriterSink) Err() error {
 	s.mu.Lock()
