@@ -1,0 +1,111 @@
+// Command benchgate checks bench JSON files (the -benchjson / -benchingest /
+// -benchstream outputs) against the planner's no-regression contract: every
+// *_speedup field compares the adaptive plan's path to the sequential
+// baseline, so a healthy planner keeps each one >= 1.0 on every core count.
+// A speedup below the threshold means the planner chose a losing plan and
+// the gate fails the build.
+//
+// Usage:
+//
+//	benchgate [-min 1.0] [-slack 0.05] bench_ingest_ci.json bench_stream_ci.json ...
+//
+// On measurements produced by a single-core runner (gomaxprocs 1 in the
+// JSON) the sequential fallback makes every speedup 1.0 by identity, so a
+// violation there can only be measurement noise; the gate reports it as
+// advisory instead of failing. -slack absorbs run-to-run timer noise on
+// multi-core runners without letting a genuinely losing plan through.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	min := flag.Float64("min", 1.0, "minimum acceptable value for every *_speedup field")
+	slack := flag.Float64("slack", 0.05, "measurement-noise tolerance subtracted from -min before failing")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no bench JSON files given")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		bad, err := check(path, *min, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		failed = failed || bad
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — the planner picked a losing plan; see above")
+		os.Exit(1)
+	}
+}
+
+// check reports whether path holds a gated speedup violation (advisory
+// findings are printed but do not fail).
+func check(path string, min, slack float64) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(data, &fields); err != nil {
+		return false, err
+	}
+	cores := 0
+	if v, ok := fields["gomaxprocs"].(float64); ok {
+		cores = int(v)
+	}
+	advisory := cores <= 1
+
+	var names []string
+	for k := range fields {
+		if strings.HasSuffix(k, "_speedup") {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("%s: no *_speedup fields (not a speedup bench), skipped\n", path)
+		return false, nil
+	}
+
+	bad := false
+	for _, k := range names {
+		v, ok := fields[k].(float64)
+		if !ok {
+			return false, fmt.Errorf("field %q is not a number", k)
+		}
+		switch {
+		case v >= min:
+			fmt.Printf("%s: %s = %.2f ok (>= %.2f)\n", path, k, v, min)
+		case advisory:
+			fmt.Printf("%s: %s = %.2f below %.2f on a 1-core runner — advisory only (sequential fallback is identity, this is noise)\n",
+				path, k, v, min)
+		case v >= min-slack:
+			fmt.Printf("%s: %s = %.2f within noise slack of %.2f (>= %.2f)\n", path, k, v, min, min-slack)
+		default:
+			fmt.Printf("%s: %s = %.2f VIOLATES the >= %.2f gate (plan: %v)\n", path, k, v, min, planOf(fields))
+			bad = true
+		}
+	}
+	return bad, nil
+}
+
+// planOf pulls whichever plan field the bench recorded, for the failure
+// message.
+func planOf(fields map[string]any) string {
+	for _, k := range []string{"plan", "plan_parse", "plan_live"} {
+		if s, ok := fields[k].(string); ok {
+			return s
+		}
+	}
+	return "unrecorded"
+}

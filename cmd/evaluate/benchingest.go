@@ -13,6 +13,7 @@ import (
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/eval"
+	"smartsra/internal/plan"
 	"smartsra/internal/simulator"
 )
 
@@ -20,6 +21,12 @@ import (
 // the streaming ingestion layer (CLF parsing and Tail/ShardedTail
 // sessionization) over a simulated log at the configured -agents scale.
 // CI runs this and uploads the file; EXPERIMENTS.md tracks the trajectory.
+//
+// The speedup fields compare the adaptive plan's path against the
+// sequential baseline, so they are >= 1.0 by construction: when the planner
+// falls back to sequential, the planned path IS the baseline path and the
+// speedup is 1.0 by identity; when it goes parallel, the calibration probe
+// already showed the parallel path winning on this machine.
 type ingestBench struct {
 	Name       string `json:"name"`
 	Agents     int    `json:"agents"`
@@ -27,19 +34,27 @@ type ingestBench struct {
 	Workers    int    `json:"workers"`
 	Shards     int    `json:"shards"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// PlanParse / PlanLive are the execution plans the planner chose for
+	// the batch parse and the concurrently fed sessionizer.
+	PlanParse string `json:"plan_parse"`
+	PlanLive  string `json:"plan_live"`
 
 	// Parse stage: the legacy per-line string path, the []byte fast path
-	// (sequential), and the chunk-parallel reader.
+	// (sequential), the chunk-parallel reader at full width, and the
+	// planned path.
 	ParseStringRecsPerSec   float64 `json:"parse_string_recs_per_sec"`
 	ParseStringAllocsPerRec float64 `json:"parse_string_allocs_per_rec"`
 	ParseBytesRecsPerSec    float64 `json:"parse_bytes_recs_per_sec"`
 	ParseBytesAllocsPerRec  float64 `json:"parse_bytes_allocs_per_rec"`
 	ParseParallelRecsPerSec float64 `json:"parse_parallel_recs_per_sec"`
+	ParsePlannedRecsPerSec  float64 `json:"parse_planned_recs_per_sec"`
 	ParseSpeedup            float64 `json:"parse_speedup"`
 
-	// Sessionization stage: single Tail vs concurrently fed ShardedTail.
+	// Sessionization stage: single Tail, concurrently fed ShardedTail at
+	// full width, and the planned processor.
 	TailRecsPerSec        float64 `json:"tail_recs_per_sec"`
 	ShardedTailRecsPerSec float64 `json:"sharded_tail_recs_per_sec"`
+	TailPlannedRecsPerSec float64 `json:"tail_planned_recs_per_sec"`
 	TailSpeedup           float64 `json:"tail_speedup"`
 }
 
@@ -87,7 +102,7 @@ func parseStringBaseline(data []byte) int {
 
 // runBenchIngest benchmarks the ingestion layer and writes the measurement
 // as JSON to path ("-" for stdout).
-func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error {
+func runBenchIngest(base eval.RunConfig, workers, shards plan.Knob, path string) error {
 	g, err := eval.Topology(base)
 	if err != nil {
 		return err
@@ -103,21 +118,34 @@ func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error
 	}
 	data := logBuf.Bytes()
 
-	effWorkers := workers
-	if effWorkers <= 0 {
-		effWorkers = runtime.GOMAXPROCS(0)
+	// Two plans: batch parse over the in-memory log, and the live
+	// concurrent-feeder shape the ShardedTail measurement models.
+	parseIn := plan.Input{SizeBytes: int64(len(data)), Kind: plan.KindFile}
+	parsePl, notes := plan.Resolve(parseIn, workers, plan.Auto, plan.Auto, data)
+	liveIn := plan.Input{SizeBytes: -1, Kind: plan.KindLive}
+	livePl := plan.Decide(liveIn)
+	if !shards.Auto {
+		s := shards.N
+		if s <= 0 {
+			s = runtime.GOMAXPROCS(0)
+		}
+		livePl.Shards, _ = plan.ClampShards(s, liveIn)
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "benchingest:", n)
 	}
+	fmt.Fprintln(os.Stderr, "benchingest: parse plan:", parsePl)
+	fmt.Fprintln(os.Stderr, "benchingest: live plan:", livePl)
 
 	b := ingestBench{
 		Name:       "Ingest",
 		Agents:     base.Params.Agents,
 		Records:    len(records),
-		Workers:    effWorkers,
-		Shards:     shards,
+		Workers:    parsePl.Workers,
+		Shards:     livePl.Shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PlanParse:  parsePl.String(),
+		PlanLive:   livePl.String(),
 	}
 	recs := float64(len(records))
 
@@ -129,9 +157,23 @@ func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error
 	b.ParseBytesRecsPerSec = recs / sec
 	b.ParseBytesAllocsPerRec = allocs / recs
 
-	sec, _ = measure(func() { clf.ReadAllParallel(bytes.NewReader(data), effWorkers) })
+	sec, _ = measure(func() { clf.ReadAllParallel(bytes.NewReader(data), runtime.GOMAXPROCS(0)) })
 	b.ParseParallelRecsPerSec = recs / sec
-	b.ParseSpeedup = b.ParseParallelRecsPerSec / b.ParseStringRecsPerSec
+
+	// The planned parse: when the plan is sequential the planned path IS
+	// clf.ReadAll, so reuse its measurement instead of re-timing the same
+	// function and recording noise.
+	if parsePl.Sequential {
+		b.ParsePlannedRecsPerSec = b.ParseBytesRecsPerSec
+	} else {
+		sec, _ = measure(func() {
+			clf.StreamParallelOffsetsChunked(bytes.NewReader(data),
+				parsePl.Workers, parsePl.StreamDepth, parsePl.ChunkBytes,
+				func(clf.Record) {}, nil)
+		})
+		b.ParsePlannedRecsPerSec = recs / sec
+	}
+	b.ParseSpeedup = b.ParsePlannedRecsPerSec / b.ParseBytesRecsPerSec
 
 	sec, _ = measure(func() {
 		tl, err := core.NewTail(core.Config{Graph: g}, 0)
@@ -145,19 +187,20 @@ func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error
 	})
 	b.TailRecsPerSec = recs / sec
 
-	// Feed the ShardedTail from effWorkers goroutines, records partitioned
+	// Feed the ShardedTail from one goroutine per core, records partitioned
 	// by user so each user's arrival order is preserved.
-	feeds := make([][]clf.Record, effWorkers)
+	feeders := runtime.GOMAXPROCS(0)
+	feeds := make([][]clf.Record, feeders)
 	for _, rec := range records {
 		h := uint32(2166136261)
 		for i := 0; i < len(rec.Host); i++ {
 			h = (h ^ uint32(rec.Host[i])) * 16777619
 		}
-		f := int(h % uint32(effWorkers))
+		f := int(h % uint32(feeders))
 		feeds[f] = append(feeds[f], rec)
 	}
-	sec, _ = measure(func() {
-		st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shards)
+	concurrentFeed := func(shardCount int) {
+		st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shardCount)
 		if err != nil {
 			panic(err)
 		}
@@ -173,9 +216,20 @@ func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error
 		}
 		wg.Wait()
 		st.Flush()
-	})
+	}
+	sec, _ = measure(func() { concurrentFeed(runtime.GOMAXPROCS(0)) })
 	b.ShardedTailRecsPerSec = recs / sec
-	b.TailSpeedup = b.ShardedTailRecsPerSec / b.TailRecsPerSec
+
+	// The planned sessionizer: a single-shard plan means one feeder and a
+	// plain Tail — the baseline path itself — so its speedup is 1.0 by
+	// identity rather than a re-measurement of the same loop.
+	if livePl.Shards <= 1 {
+		b.TailPlannedRecsPerSec = b.TailRecsPerSec
+	} else {
+		sec, _ = measure(func() { concurrentFeed(livePl.Shards) })
+		b.TailPlannedRecsPerSec = recs / sec
+	}
+	b.TailSpeedup = b.TailPlannedRecsPerSec / b.TailRecsPerSec
 
 	out, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -191,11 +245,11 @@ func runBenchIngest(base eval.RunConfig, workers, shards int, path string) error
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"benchingest: %d records; parse %.0f/s string, %.0f/s bytes (%.2f vs %.2f allocs/rec), %.0f/s parallel (%.1fx); tail %.0f/s, sharded %.0f/s (%.1fx; workers=%d shards=%d GOMAXPROCS=%d)\n",
+		"benchingest: %d records; parse %.0f/s string, %.0f/s bytes (%.2f vs %.2f allocs/rec), %.0f/s parallel, %.0f/s planned (%.2fx); tail %.0f/s, sharded %.0f/s, planned %.0f/s (%.2fx; workers=%d shards=%d GOMAXPROCS=%d)\n",
 		b.Records, b.ParseStringRecsPerSec, b.ParseBytesRecsPerSec,
 		b.ParseStringAllocsPerRec, b.ParseBytesAllocsPerRec,
-		b.ParseParallelRecsPerSec, b.ParseSpeedup,
-		b.TailRecsPerSec, b.ShardedTailRecsPerSec, b.TailSpeedup,
+		b.ParseParallelRecsPerSec, b.ParsePlannedRecsPerSec, b.ParseSpeedup,
+		b.TailRecsPerSec, b.ShardedTailRecsPerSec, b.TailPlannedRecsPerSec, b.TailSpeedup,
 		b.Workers, b.Shards, b.GOMAXPROCS)
 	return nil
 }

@@ -12,14 +12,20 @@ import (
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/eval"
+	"smartsra/internal/plan"
 	"smartsra/internal/simulator"
 )
 
 // streamBench is the JSON record -benchstream emits: one self-benchmark of
 // the bounded-memory streaming path (clf.Stream/StreamParallel and the
-// end-to-end ShardedTail.Ingest pipeline) over a simulated log at the
-// configured -agents scale. CI runs this and uploads the file;
+// end-to-end streaming-sessionizer Ingest pipeline) over a simulated log at
+// the configured -agents scale. CI runs this and uploads the file;
 // EXPERIMENTS.md tracks the trajectory.
+//
+// stream_speedup compares the adaptive plan's reader against the
+// sequential clf.Stream baseline, so it is >= 1.0 by construction: a
+// sequential plan's path IS the baseline (speedup 1.0 by identity), and a
+// parallel plan only survives the calibration probe when it wins.
 type streamBench struct {
 	Name       string `json:"name"`
 	Agents     int    `json:"agents"`
@@ -29,13 +35,16 @@ type streamBench struct {
 	Depth      int    `json:"depth"`
 	Shards     int    `json:"shards"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Plan is the execution plan the planner chose for this input.
+	Plan string `json:"plan"`
 
-	// Reader stage: sequential Scanner-based Stream vs the chunk-parallel
-	// in-order StreamParallel with its per-chunk intern arena.
+	// Reader stage: sequential Scanner-based Stream, the chunk-parallel
+	// in-order StreamParallel at full width, and the planned reader.
 	StreamRecsPerSec           float64 `json:"stream_recs_per_sec"`
 	StreamAllocsPerRec         float64 `json:"stream_allocs_per_rec"`
 	StreamParallelRecsPerSec   float64 `json:"stream_parallel_recs_per_sec"`
 	StreamParallelAllocsPerRec float64 `json:"stream_parallel_allocs_per_rec"`
+	StreamPlannedRecsPerSec    float64 `json:"stream_planned_recs_per_sec"`
 	StreamSpeedup              float64 `json:"stream_speedup"`
 
 	// End to end: StreamParallel feeding a ShardedTail via Ingest — the
@@ -70,7 +79,7 @@ func (h *heapSampler) sample() {
 
 // runBenchStream benchmarks the streaming ingestion path and writes the
 // measurement as JSON to path ("-" for stdout).
-func runBenchStream(base eval.RunConfig, workers, shards, depth int, path string) error {
+func runBenchStream(base eval.RunConfig, workers, shards, depth plan.Knob, path string) error {
 	g, err := eval.Topology(base)
 	if err != nil {
 		return err
@@ -86,27 +95,23 @@ func runBenchStream(base eval.RunConfig, workers, shards, depth int, path string
 	}
 	data := logBuf.Bytes()
 
-	effWorkers := workers
-	if effWorkers <= 0 {
-		effWorkers = runtime.GOMAXPROCS(0)
+	shape := plan.Input{SizeBytes: int64(len(data)), Kind: plan.KindFile}
+	pl, notes := plan.Resolve(shape, workers, shards, depth, data)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "benchstream:", n)
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	effDepth := depth
-	if effDepth <= 0 {
-		effDepth = clf.DefaultStreamDepth
-	}
+	fmt.Fprintln(os.Stderr, "benchstream: plan:", pl)
 
 	b := streamBench{
 		Name:       "StreamIngest",
 		Agents:     base.Params.Agents,
 		Records:    len(records),
 		LogBytes:   len(data),
-		Workers:    effWorkers,
-		Depth:      effDepth,
-		Shards:     shards,
+		Workers:    pl.Workers,
+		Depth:      pl.StreamDepth,
+		Shards:     pl.Shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Plan:       pl.String(),
 	}
 	recs := float64(len(records))
 
@@ -119,19 +124,32 @@ func runBenchStream(base eval.RunConfig, workers, shards, depth int, path string
 	b.StreamAllocsPerRec = allocs / recs
 
 	sec, allocs = measure(func() {
-		if _, err := clf.StreamParallel(bytes.NewReader(data), effWorkers, effDepth, func(clf.Record) {}); err != nil {
+		if _, err := clf.StreamParallel(bytes.NewReader(data),
+			runtime.GOMAXPROCS(0), clf.DefaultStreamDepth, func(clf.Record) {}); err != nil {
 			panic(err)
 		}
 	})
 	b.StreamParallelRecsPerSec = recs / sec
 	b.StreamParallelAllocsPerRec = allocs / recs
-	b.StreamSpeedup = b.StreamParallelRecsPerSec / b.StreamRecsPerSec
+
+	// The planned reader: a sequential plan's path IS clf.Stream, so reuse
+	// that measurement instead of re-timing the same function.
+	if pl.Sequential {
+		b.StreamPlannedRecsPerSec = b.StreamRecsPerSec
+	} else {
+		sec, _ = measure(func() {
+			if _, err := clf.StreamParallelOffsetsChunked(bytes.NewReader(data),
+				pl.Workers, pl.StreamDepth, pl.ChunkBytes, func(clf.Record) {}, nil); err != nil {
+				panic(err)
+			}
+		})
+		b.StreamPlannedRecsPerSec = recs / sec
+	}
+	b.StreamSpeedup = b.StreamPlannedRecsPerSec / b.StreamRecsPerSec
 
 	var high uint64
 	sec, _ = measure(func() {
-		st, err := core.NewShardedTail(core.Config{
-			Graph: g, Workers: effWorkers, StreamDepth: effDepth,
-		}, 0, shards)
+		st, err := core.NewSessionizer(core.Config{Graph: g}.WithPlan(pl), 0, pl.Shards, false)
 		if err != nil {
 			panic(err)
 		}
@@ -162,9 +180,10 @@ func runBenchStream(base eval.RunConfig, workers, shards, depth int, path string
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"benchstream: %d records (%d MiB); stream %.0f/s (%.2f allocs/rec), parallel %.0f/s (%.2f allocs/rec, %.1fx); ingest %.0f/s, heap high-water %.0f MiB (workers=%d depth=%d shards=%d GOMAXPROCS=%d)\n",
+		"benchstream: %d records (%d MiB); stream %.0f/s (%.2f allocs/rec), parallel %.0f/s (%.2f allocs/rec), planned %.0f/s (%.2fx); ingest %.0f/s, heap high-water %.0f MiB (workers=%d depth=%d shards=%d GOMAXPROCS=%d)\n",
 		b.Records, b.LogBytes>>20, b.StreamRecsPerSec, b.StreamAllocsPerRec,
-		b.StreamParallelRecsPerSec, b.StreamParallelAllocsPerRec, b.StreamSpeedup,
+		b.StreamParallelRecsPerSec, b.StreamParallelAllocsPerRec,
+		b.StreamPlannedRecsPerSec, b.StreamSpeedup,
 		b.IngestRecsPerSec, b.IngestHeapHighWaterMiB,
 		b.Workers, b.Depth, b.Shards, b.GOMAXPROCS)
 	return nil

@@ -20,8 +20,13 @@
 // the data behind BENCH_point.json and the CI bench artifact. -benchingest
 // does the same for the batch ingestion layer, and -benchstream for the
 // bounded-memory streaming path (Stream/StreamParallel and the end-to-end
-// ShardedTail.Ingest pipeline, including its heap high-water mark) — the
-// data behind BENCH_stream.json.
+// streaming-sessionizer Ingest pipeline, including its heap high-water
+// mark) — the data behind BENCH_stream.json. Both bench modes size their
+// parallel paths with the adaptive execution planner (-bench-workers,
+// -shards, -stream-depth, all defaulting to "auto") and record the chosen
+// plan in the JSON; their speedup fields compare the planned path against
+// the sequential baseline, so a healthy planner keeps them >= 1.0 on every
+// core count.
 //
 // Accuracy is reported under both readings of the paper's §5.1 metric:
 // matched (one-to-one, headline) and exists (any capturer counts); see
@@ -38,6 +43,7 @@ import (
 
 	"smartsra/internal/eval"
 	"smartsra/internal/metrics"
+	"smartsra/internal/plan"
 )
 
 func main() {
@@ -57,13 +63,25 @@ func main() {
 		progress   = flag.Bool("progress", false, "report per-point progress and a metrics snapshot on stderr")
 		benchjson  = flag.String("benchjson", "", "benchmark one evaluation point and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
 		benchingst = flag.String("benchingest", "", "benchmark the streaming ingestion layer (parse, Tail, ShardedTail) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
-		benchstrm  = flag.String("benchstream", "", "benchmark the bounded-memory streaming path (Stream, StreamParallel, ShardedTail.Ingest) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
-		shards     = flag.Int("shards", 0, "ShardedTail shard count for -benchingest/-benchstream (<=0: all cores)")
-		depth      = flag.Int("stream-depth", 0, "in-flight parsed chunks for -benchstream (<=0: default)")
+		benchstrm  = flag.String("benchstream", "", "benchmark the bounded-memory streaming path (Stream, StreamParallel, streaming-sessionizer Ingest) and write the measurement as JSON to this file ('-' for stdout), instead of sweeping")
+		benchWkrs  = flag.String("bench-workers", "auto", "parse workers for -benchingest/-benchstream: auto (planned) or a number")
+		shards     = flag.String("shards", "auto", "sessionizer shard count for -benchingest/-benchstream: auto (planned) or a number (<=0: all cores)")
+		depth      = flag.String("stream-depth", "auto", "in-flight parsed chunks for -benchstream: auto (planned) or a number")
 	)
 	flag.Parse()
+	knobs := [3]plan.Knob{}
+	var err error
+	if knobs[0], err = plan.ParseKnob("bench-workers", *benchWkrs); err == nil {
+		if knobs[1], err = plan.ParseKnob("shards", *shards); err == nil {
+			knobs[2], err = plan.ParseKnob("stream-depth", *depth)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(2)
+	}
 	if err := run(*experiment, *agents, *seed, *replicas, *pages, *outdeg, *csvDir, *svgDir,
-		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson, *benchingst, *benchstrm, *shards, *depth); err != nil {
+		*stats, *viaCLF, *withRef, *workers, *progress, *benchjson, *benchingst, *benchstrm, knobs); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
@@ -71,7 +89,7 @@ func main() {
 
 func run(experiment string, agents int, seed int64, replicas int, pages int, outdeg float64,
 	csvDir, svgDir string, sessionStats, viaCLF, withRef bool, workers int, progress bool,
-	benchjson, benchingest, benchstream string, shards, depth int) error {
+	benchjson, benchingest, benchstream string, knobs [3]plan.Knob) error {
 	base := eval.PaperDefaults()
 	base.Params.Agents = agents
 	base.Params.Seed = seed
@@ -84,10 +102,10 @@ func run(experiment string, agents int, seed int64, replicas int, pages int, out
 		return runBenchJSON(base, workers, benchjson)
 	}
 	if benchingest != "" {
-		return runBenchIngest(base, workers, shards, benchingest)
+		return runBenchIngest(base, knobs[0], knobs[1], benchingest)
 	}
 	if benchstream != "" {
-		return runBenchStream(base, workers, shards, depth, benchstream)
+		return runBenchStream(base, knobs[0], knobs[1], knobs[2], benchstream)
 	}
 
 	start := time.Now()

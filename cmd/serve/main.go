@@ -6,9 +6,17 @@
 // Usage:
 //
 //	serve -topology topology.json [-addr :8080] [-log access.log] [-combined]
-//	      [-sessions sessions.txt] [-shards 0] [-expire-every 30s]
-//	      [-backfill old.log] [-workers N] [-stream-depth D]
+//	      [-sessions sessions.txt] [-shards auto|S] [-expire-every 30s]
+//	      [-backfill old.log] [-workers auto|N] [-stream-depth auto|D]
 //	      [-checkpoint state.ckpt] [-checkpoint-every 10s]
+//
+// -workers, -shards, and -stream-depth default to "auto": the execution
+// planner sizes replay parallelism from the core count and the replayed
+// file, and shard striping from the expected request-handler concurrency,
+// falling back to the sequential reader and a single shard wherever
+// parallelism cannot win (notably on one core). Explicit numbers override
+// the planner but are clamped to usable values; the effective plan is
+// logged once at startup and never changes output.
 //
 // The log flushes on every request batch, and Ctrl-C (SIGINT/SIGTERM)
 // shuts down gracefully, flushing every still-buffered session when
@@ -22,7 +30,9 @@
 // logged request is pushed into a core.ShardedTail (Smart-SRA), finalized
 // sessions are appended to the given file as they close (through a
 // core.RetrySink, so transient write failures are retried and persistent
-// ones land in <sessions>.deadletter instead of vanishing), and a
+// ones land in <sessions>.deadletter instead of vanishing; once writes
+// recover, the journal is re-ingested and truncated, so it tracks the
+// current outage instead of growing forever), and a
 // background ticker expires quiet users every -expire-every so their
 // sessions are not held forever.
 //
@@ -61,6 +71,7 @@ import (
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/metrics"
+	"smartsra/internal/plan"
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
 	"smartsra/internal/webserver"
@@ -83,32 +94,44 @@ type options struct {
 	logPath     string
 	combined    bool
 	sessPath    string
-	shards      int
+	shards      plan.Knob
 	expireEvery time.Duration
 	backfill    string
-	workers     int
-	depth       int
+	workers     plan.Knob
+	depth       plan.Knob
 	ckptPath    string
 	ckptEvery   time.Duration
 }
 
 func main() {
-	var o options
+	var (
+		o       options
+		shards  = flag.String("shards", "auto", "ShardedTail shard count for -sessions: auto (planned) or a number (0 = all cores)")
+		workers = flag.String("workers", "auto", "parse goroutines for -backfill and checkpoint replay: auto (planned), 0 sequential, -1 all cores")
+		depth   = flag.String("stream-depth", "auto", "in-flight parsed chunks for replay: auto (planned) or a number (bounds replay heap, never changes output)")
+	)
 	flag.StringVar(&o.topoPath, "topology", "", "topology JSON written by simgen (required)")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&o.logPath, "log", "", "access log file (default: stderr)")
 	flag.BoolVar(&o.combined, "combined", false, "write Combined Log Format")
 	flag.StringVar(&o.sessPath, "sessions", "", "sessionize traffic live, appending finalized sessions to this file")
-	flag.IntVar(&o.shards, "shards", 0, "ShardedTail shard count for -sessions (0 = all cores)")
 	flag.DurationVar(&o.expireEvery, "expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
 	flag.StringVar(&o.backfill, "backfill", "", "existing access log to stream through the sessionizer before serving (needs -sessions)")
-	flag.IntVar(&o.workers, "workers", 0, "parse goroutines for -backfill and checkpoint replay (0 sequential, -1 all cores)")
-	flag.IntVar(&o.depth, "stream-depth", 0, "in-flight parsed chunks for replay (0 = default; bounds replay heap, never changes output)")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file (needs -log and -sessions)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 10*time.Second, "how often to snapshot state for -checkpoint")
 	flag.Parse()
 	if o.topoPath == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if o.shards, err = plan.ParseKnob("shards", *shards); err == nil {
+		if o.workers, err = plan.ParseKnob("workers", *workers); err == nil {
+			o.depth, err = plan.ParseKnob("stream-depth", *depth)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -154,7 +177,32 @@ func run(o options) error {
 	s.sink = webserver.NewWriterSink(newLogWriter(out, o.combined))
 
 	if o.sessPath != "" {
-		st, err := core.NewShardedTail(core.Config{Graph: g, Workers: o.workers, StreamDepth: o.depth}, 0, o.shards)
+		// Plan replay parallelism from the file that will actually be
+		// replayed (checkpoint recovery replays -log, -backfill its own
+		// file); without a replay the live plan's sequential parse stands.
+		liveIn := plan.Input{SizeBytes: -1, Kind: plan.KindLive}
+		shape, replayPath := liveIn, ""
+		if o.ckptPath != "" {
+			replayPath = o.logPath
+		} else if o.backfill != "" {
+			replayPath = o.backfill
+		}
+		var sample []byte
+		if replayPath != "" {
+			shape = plan.StatPath(replayPath)
+			sample = plan.SamplePath(replayPath)
+		}
+		pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, sample)
+		if o.shards.Auto {
+			// Shards answer request-handler contention, not the replay
+			// file's single delivery goroutine.
+			pl.Shards = plan.Decide(liveIn).Shards
+		}
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "serve:", n)
+		}
+		fmt.Fprintln(os.Stderr, "serve: plan:", pl)
+		st, err := core.NewShardedTail(core.Config{Graph: g}.WithPlan(pl), 0, pl.Shards)
 		if err != nil {
 			return err
 		}
@@ -163,7 +211,9 @@ func run(o options) error {
 			return err
 		}
 		defer sf.Close()
-		dl, err := os.OpenFile(o.sessPath+".deadletter", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// O_RDWR (not append-only) so the RetrySink can re-ingest and
+		// truncate the journal once the session file recovers.
+		dl, err := os.OpenFile(o.sessPath+".deadletter", os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}

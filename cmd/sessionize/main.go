@@ -6,18 +6,35 @@
 // Usage:
 //
 //	sessionize -topology topology.json -log access.log [-heuristic heur4]
-//	           [-no-clean] [-stats-only] [-workers N]
-//	           [-stream] [-stream-depth D] [-shards S]
+//	           [-no-clean] [-stats-only] [-workers auto|N]
+//	           [-stream] [-stream-depth auto|D] [-shards auto|S]
+//	           [-expire-every 30s]
 //	           [-sessions out.txt] [-checkpoint state.ckpt] [-checkpoint-every 5s]
 //
+// -workers, -shards, and -stream-depth default to "auto": an execution plan
+// is sized from the core count, the input's size and kind (file vs pipe),
+// and a short observed-throughput probe, falling back to the sequential
+// path whenever parallelism cannot win (one core, small inputs, or a probe
+// that shows chunked parsing losing on this machine). Explicit numbers
+// override the planner but are clamped to what the input can feed; the
+// effective plan is logged once at startup. Every plan produces
+// byte-identical output — the knobs only trade throughput and memory.
+//
 // -stream switches to bounded-memory streaming ingestion: the log is parsed
-// in line-aligned chunks on -workers goroutines, delivered in input order
-// through a channel of depth -stream-depth straight into a sharded
-// streaming sessionizer, and sessions print as they finalize. Memory stays
-// bounded by (workers + depth) chunks regardless of log size, so it suits
-// logs far larger than RAM (or stdin pipes that never end). Sessions are
-// emitted in finalization order rather than batch order; for Smart-SRA and
-// the time-gap heuristic the session contents are identical to batch mode.
+// in line-aligned chunks on the planned worker count, delivered in input
+// order through a bounded channel straight into a streaming sessionizer,
+// and sessions print as they finalize. Memory stays bounded by
+// (workers + depth) chunks regardless of log size, so it suits logs far
+// larger than RAM (or stdin pipes that never end). Sessions are emitted in
+// finalization order rather than batch order; for Smart-SRA and the
+// time-gap heuristic the session contents are identical to batch mode.
+//
+// -expire-every finalizes users quiet for longer than the session gap even
+// while input is still flowing, so an endless pipe emits sessions
+// continuously instead of holding every open burst until EOF. The default
+// (0) enables a 30s sweep for pipes and stdin and disables it for regular
+// files, where wall-clock expiry would split historical sessions that
+// batch mode merges; a negative value forces it off everywhere.
 //
 // -checkpoint makes a streaming run crash-safe: state is periodically
 // snapshotted (open bursts + byte offsets, atomic CRC-protected writes),
@@ -27,7 +44,9 @@
 // byte-identical to an uninterrupted run. It needs -stream, -sessions (a
 // truncatable output file instead of stdout), and a real -log file (the
 // resume offset seeks into it, so stdin won't do). A corrupt or truncated
-// checkpoint is detected and the run falls back to a full replay.
+// checkpoint is detected and the run falls back to a full replay. Periodic
+// expiry composes with it: expired sessions go through the same offset
+// bookkeeping, so checkpoints always describe a consistent cut.
 package main
 
 import (
@@ -36,56 +55,82 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"smartsra/internal/checkpoint"
 	"smartsra/internal/clf"
 	"smartsra/internal/core"
 	"smartsra/internal/heuristics"
+	"smartsra/internal/plan"
 	"smartsra/internal/referrer"
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
 )
 
+// options collects the parsed command line.
+type options struct {
+	topoPath, logPath, heur string
+	noClean, statsOnly      bool
+	workers, shards, depth  plan.Knob
+	stream                  bool
+	expireEvery             time.Duration
+	sessPath, ckptPath      string
+	ckptEvery               time.Duration
+}
+
 func main() {
 	var (
-		topoPath  = flag.String("topology", "", "topology JSON written by simgen (required)")
-		logPath   = flag.String("log", "", "CLF access log (required; - for stdin)")
-		heur      = flag.String("heuristic", "heur4", "heur1|heur2|heur3|heur4|referrer (referrer needs a combined-format log)")
-		noClean   = flag.Bool("no-clean", false, "skip the standard data-cleaning filter")
-		statsOnly = flag.Bool("stats-only", false, "print statistics but not the sessions")
-		workers   = flag.Int("workers", 0, "pipeline parallelism: 0 sequential, -1 all cores, n>0 that many workers (output is identical for any value)")
-		stream    = flag.Bool("stream", false, "bounded-memory streaming ingestion: sessions print as they finalize, heap independent of log size")
-		depth     = flag.Int("stream-depth", 0, "in-flight parsed chunks for -stream (0 = default; memory/throughput trade, never changes output)")
-		shards    = flag.Int("shards", 0, "streaming sessionizer shard count for -stream (0 = all cores)")
-		sessPath  = flag.String("sessions", "", "write sessions to this file instead of stdout (required by -checkpoint)")
-		ckptPath  = flag.String("checkpoint", "", "crash-recovery checkpoint file for -stream (resume an interrupted run exactly)")
-		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "how often to snapshot state for -checkpoint")
+		o           options
+		workers     = flag.String("workers", "auto", "pipeline parallelism: auto (planned), 0 sequential, -1 all cores, n>0 that many workers (output is identical for any value)")
+		shards      = flag.String("shards", "auto", "streaming sessionizer shard count for -stream: auto (planned) or a number (0 = all cores)")
+		depth       = flag.String("stream-depth", "auto", "in-flight parsed chunks for -stream: auto (planned) or a number (memory/throughput trade, never changes output)")
+		expireEvery = flag.Duration("expire-every", 0, "finalize quiet users this often while streaming (0 = auto: 30s for pipes/stdin, off for files; <0 = off)")
 	)
+	flag.StringVar(&o.topoPath, "topology", "", "topology JSON written by simgen (required)")
+	flag.StringVar(&o.logPath, "log", "", "CLF access log (required; - for stdin)")
+	flag.StringVar(&o.heur, "heuristic", "heur4", "heur1|heur2|heur3|heur4|referrer (referrer needs a combined-format log)")
+	flag.BoolVar(&o.noClean, "no-clean", false, "skip the standard data-cleaning filter")
+	flag.BoolVar(&o.statsOnly, "stats-only", false, "print statistics but not the sessions")
+	flag.BoolVar(&o.stream, "stream", false, "bounded-memory streaming ingestion: sessions print as they finalize, heap independent of log size")
+	flag.StringVar(&o.sessPath, "sessions", "", "write sessions to this file instead of stdout (required by -checkpoint)")
+	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file for -stream (resume an interrupted run exactly)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 5*time.Second, "how often to snapshot state for -checkpoint")
 	flag.Parse()
-	if *topoPath == "" || *logPath == "" {
+	o.expireEvery = *expireEvery
+	if o.topoPath == "" || o.logPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*topoPath, *logPath, *heur, *noClean, *statsOnly, *workers, *stream, *depth, *shards, *sessPath, *ckptPath, *ckptEvery); err != nil {
+	var err error
+	if o.workers, err = plan.ParseKnob("workers", *workers); err == nil {
+		if o.shards, err = plan.ParseKnob("shards", *shards); err == nil {
+			o.depth, err = plan.ParseKnob("stream-depth", *depth)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sessionize:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, stream bool, depth, shards int, sessPath, ckptPath string, ckptEvery time.Duration) error {
-	if ckptPath != "" {
-		if !stream {
+func run(o options) error {
+	if o.ckptPath != "" {
+		if !o.stream {
 			return fmt.Errorf("-checkpoint needs -stream (batch mode has no incremental state to save)")
 		}
-		if sessPath == "" {
+		if o.sessPath == "" {
 			return fmt.Errorf("-checkpoint needs -sessions (recovery truncates the output file, stdout can't be)")
 		}
-		if logPath == "-" {
+		if o.logPath == "-" {
 			return fmt.Errorf("-checkpoint needs a real -log file (the resume offset seeks into it)")
 		}
 	}
-	tf, err := os.Open(topoPath)
+	tf, err := os.Open(o.topoPath)
 	if err != nil {
 		return err
 	}
@@ -96,34 +141,49 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 	}
 
 	in := os.Stdin
-	if logPath != "-" {
-		in, err = os.Open(logPath)
+	if o.logPath != "-" {
+		in, err = os.Open(o.logPath)
 		if err != nil {
 			return err
 		}
 		defer in.Close()
 	}
 
-	if heur == "referrer" {
-		if stream {
+	if o.heur == "referrer" {
+		if o.stream {
 			return fmt.Errorf("-stream does not support the referrer heuristic (it chains over the full record list)")
 		}
-		return runReferrer(g, in, statsOnly)
+		return runReferrer(g, in, o.statsOnly)
 	}
 
-	h, err := pickHeuristic(heur, g)
+	h, err := pickHeuristic(o.heur, g)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Graph: g, Heuristic: h, Workers: workers, StreamDepth: depth}
-	if noClean {
+	shape := plan.Stat(in)
+	pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, plan.Sample(in))
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "sessionize:", n)
+	}
+	fmt.Fprintln(os.Stderr, "sessionize: plan:", pl)
+	cfg := core.Config{Graph: g, Heuristic: h}.WithPlan(pl)
+	if o.noClean {
 		cfg.Filter = clf.KeepAll
 	}
-	if stream {
-		if ckptPath != "" {
-			return runStreamCheckpointed(cfg, shards, in, sessPath, ckptPath, ckptEvery)
+	if o.stream {
+		expire := o.expireEvery
+		if expire == 0 && shape.Kind != plan.KindFile {
+			// Live-ish input: without periodic expiry an endless pipe would
+			// buffer every user's open burst until EOF never comes.
+			expire = 30 * time.Second
 		}
-		return runStream(cfg, shards, in, statsOnly, sessPath)
+		if expire < 0 {
+			expire = 0
+		}
+		if o.ckptPath != "" {
+			return runStreamCheckpointed(cfg, pl, expire, in, o.sessPath, o.ckptPath, o.ckptEvery)
+		}
+		return runStream(cfg, pl, expire, in, o.statsOnly, o.sessPath)
 	}
 	pipeline, err := core.NewPipeline(cfg)
 	if err != nil {
@@ -133,8 +193,8 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 	if err != nil {
 		return err
 	}
-	if !statsOnly {
-		if err := writeSessions(sessPath, res.Sessions); err != nil {
+	if !o.statsOnly {
+		if err := writeSessions(o.sessPath, res.Sessions); err != nil {
 			return err
 		}
 	}
@@ -145,13 +205,44 @@ func run(topoPath, logPath, heur string, noClean, statsOnly bool, workers int, s
 	return nil
 }
 
+// startExpireLoop runs tick every interval until the returned stop function
+// is called (the same stoppable-ticker shape serve uses). A non-positive
+// interval starts nothing.
+func startExpireLoop(every time.Duration, tick func(time.Time)) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				tick(now)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
 // runStream ingests the log through the bounded-memory streaming path: a
-// sharded streaming sessionizer fed in input order by the chunked parallel
-// reader, writing each session the moment its burst closes. Heap usage is
-// independent of log length, so this path handles logs larger than RAM and
-// never-ending stdin pipes.
-func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool, sessPath string) error {
-	st, err := core.NewShardedTail(cfg, 0, shards)
+// streaming sessionizer fed in input order by the planned reader, writing
+// each session the moment its burst closes. Heap usage is independent of
+// log length, so this path handles logs larger than RAM and never-ending
+// stdin pipes. With expire > 0 a background sweep also finalizes users
+// quiet for longer than the session gap, so sessions keep flowing while
+// input does.
+func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File, statsOnly bool, sessPath string) error {
+	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
 	if err != nil {
 		return err
 	}
@@ -164,20 +255,39 @@ func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool, sessPat
 		defer dst.Close()
 	}
 	out := bufio.NewWriter(dst)
-	sink := core.DiscardSessions
-	if !statsOnly {
-		sink = func(s []session.Session) {
-			if err := session.WriteAll(out, s); err != nil {
-				fmt.Fprintln(os.Stderr, "sessionize:", err)
-				os.Exit(1)
-			}
+	// The expire sweep races Ingest's emits, so every write goes through one
+	// mutex; the sweep also flushes, so a downstream pipe sees expired
+	// sessions now rather than at the next buffer fill.
+	var mu sync.Mutex
+	emit := func(s []session.Session) {
+		if statsOnly || len(s) == 0 {
+			return
+		}
+		if err := session.WriteAll(out, s); err != nil {
+			fmt.Fprintln(os.Stderr, "sessionize:", err)
+			os.Exit(1)
 		}
 	}
+	sink := func(s []session.Session) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(s)
+	}
+	stopExpire := startExpireLoop(expire, func(now time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(st.Expire(now))
+		if err := out.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "sessionize:", err)
+			os.Exit(1)
+		}
+	})
 	malformed, err := st.Ingest(bufio.NewReader(in), sink)
+	stopExpire()
 	if err != nil {
 		return err
 	}
-	sink(st.Flush())
+	emit(st.Flush())
 	if err := out.Flush(); err != nil {
 		return err
 	}
@@ -190,9 +300,12 @@ func runStream(cfg core.Config, shards int, in *os.File, statsOnly bool, sessPat
 // session file to the recorded offset, so the replayed log suffix re-emits
 // exactly the sessions the interruption cut off) and snapshots periodically
 // at chunk boundaries while streaming. A missing, corrupt, or stale
-// checkpoint falls back to a full run from the start of the log.
-func runStreamCheckpointed(cfg core.Config, shards int, in *os.File, sessPath, ckptPath string, every time.Duration) error {
-	st, err := core.NewShardedTail(cfg, 0, shards)
+// checkpoint falls back to a full run from the start of the log. The
+// optional expire sweep shares the sink mutex with the write and snapshot
+// paths, so every checkpoint records a consistent (log offset, session
+// offset, open bursts) cut even while expiry is emitting.
+func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File, sessPath, ckptPath string, every time.Duration) error {
+	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
 	if err != nil {
 		return err
 	}
@@ -245,16 +358,33 @@ func runStreamCheckpointed(cfg core.Config, shards int, in *os.File, sessPath, c
 	}
 
 	w := checkpoint.NewWriter(checkpoint.OS, ckptPath, every)
+	var mu sync.Mutex
 	good := sinkOff
 	var sinkErr error
-	malformed, err := st.IngestOffsets(bufio.NewReader(in), func(s []session.Session) {
-		if sinkErr != nil {
+	// Caller holds mu.
+	emit := func(s []session.Session) {
+		if sinkErr != nil || len(s) == 0 {
 			return
 		}
 		if sinkErr = session.WriteAll(sf, s); sinkErr == nil {
 			good, sinkErr = sf.Seek(0, io.SeekCurrent)
 		}
+	}
+	stopExpire := startExpireLoop(expire, func(now time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sinkErr != nil {
+			return
+		}
+		emit(st.Expire(now))
+	})
+	malformed, err := st.IngestOffsets(bufio.NewReader(in), func(s []session.Session) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(s)
 	}, func(off int64) {
+		mu.Lock()
+		defer mu.Unlock()
 		if sinkErr != nil {
 			return
 		}
@@ -269,6 +399,7 @@ func runStreamCheckpointed(cfg core.Config, shards int, in *os.File, sessPath, c
 			fmt.Fprintln(os.Stderr, "sessionize: checkpoint:", err)
 		}
 	})
+	stopExpire()
 	if err != nil {
 		return err
 	}
@@ -297,7 +428,7 @@ func runStreamCheckpointed(cfg core.Config, shards int, in *os.File, sessPath, c
 	return nil
 }
 
-func printStreamStats(cfg core.Config, st *core.ShardedTail, malformed int) {
+func printStreamStats(cfg core.Config, st core.Sessionizer, malformed int) {
 	stats := st.Stats()
 	stats.Malformed = malformed
 	if d, ok := cfg.Heuristic.(heuristics.Describer); ok {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -124,6 +125,187 @@ func TestRetrySinkDropsAreCounted(t *testing.T) {
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, errors.New("journal broken") }
+
+// journalTemp opens an O_RDWR temp file as a compactable dead-letter journal.
+func journalTemp(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "deadletter-*.sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func journalSize(t *testing.T, f *os.File) int64 {
+	t.Helper()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestRetrySinkCompactsJournalOnRecovery: the headline journal-GC fix — an
+// outage dead-letters batches into the file journal, and the first Emit
+// after the sink recovers re-ingests them through the working sink and
+// truncates the journal back to empty, so the dead-letter file tracks the
+// current outage instead of growing forever.
+func TestRetrySinkCompactsJournalOnRecovery(t *testing.T) {
+	reingestBefore := metricRetrySinkReingested.Value()
+	compactBefore := metricRetrySinkCompactions.Value()
+
+	journal := journalTemp(t)
+	var buf bytes.Buffer
+	failing := true
+	sink := NewRetrySink(func(s []session.Session) error {
+		if failing {
+			return errors.New("outage")
+		}
+		return session.WriteAll(&buf, s)
+	}, RetryOptions{
+		MaxAttempts: 2,
+		Sleep:       func(time.Duration) {},
+		DeadLetter:  journal,
+	})
+
+	lost1 := testBatch("10.2.0.1", 1, 2)
+	lost2 := testBatch("10.2.0.2", 3)
+	sink.Emit(lost1)
+	sink.Emit(lost2)
+	if journalSize(t, journal) == 0 {
+		t.Fatal("outage batches were not journaled")
+	}
+
+	failing = false
+	live := testBatch("10.2.0.3", 4, 5)
+	sink.Emit(live)
+
+	if size := journalSize(t, journal); size != 0 {
+		t.Fatalf("journal still %d bytes after recovery, want empty", size)
+	}
+	got, err := session.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("recovered sink output does not re-ingest: %v", err)
+	}
+	// live lands first (its Emit triggered the compaction), then the backlog.
+	if len(got) != 3 {
+		t.Fatalf("%d sessions reached the sink, want 3 (live + 2 re-ingested)", len(got))
+	}
+	want := map[string]bool{
+		lost1[0].String(): false, lost2[0].String(): false, live[0].String(): false,
+	}
+	for _, s := range got {
+		if _, ok := want[s.String()]; !ok {
+			t.Fatalf("unexpected session %v", s)
+		}
+		want[s.String()] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("session %q never reached the recovered sink", k)
+		}
+	}
+	if got := metricRetrySinkReingested.Value() - reingestBefore; got != 2 {
+		t.Errorf("reingest counter moved by %d, want 2", got)
+	}
+	if got := metricRetrySinkCompactions.Value() - compactBefore; got != 1 {
+		t.Errorf("compact counter moved by %d, want 1", got)
+	}
+
+	// A later outage journals into the now-empty file again.
+	failing = true
+	sink.Emit(testBatch("10.2.0.4", 6))
+	if journalSize(t, journal) == 0 {
+		t.Fatal("post-compaction outage was not journaled")
+	}
+	relost, err := session.ReadAll(bytes.NewReader(readFileAll(t, journal)))
+	if err != nil || len(relost) != 1 {
+		t.Fatalf("post-compaction journal holds %v (%v), want 1 session", relost, err)
+	}
+}
+
+// TestRetrySinkReingestsPriorRunJournal: a non-empty journal inherited from a
+// crashed previous run is healed by the first successful Emit.
+func TestRetrySinkReingestsPriorRunJournal(t *testing.T) {
+	journal := journalTemp(t)
+	backlog := testBatch("10.2.1.1", 9, 10)
+	if err := session.WriteAll(journal, backlog); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	sink := NewRetrySink(func(s []session.Session) error {
+		return session.WriteAll(&buf, s)
+	}, RetryOptions{Sleep: func(time.Duration) {}, DeadLetter: journal})
+
+	sink.Emit(testBatch("10.2.1.2", 11))
+	if size := journalSize(t, journal); size != 0 {
+		t.Fatalf("prior-run journal still %d bytes, want healed to empty", size)
+	}
+	got, err := session.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d sessions reached the sink, want live + prior-run backlog", len(got))
+	}
+}
+
+// TestRetrySinkKeepsJournalWhileFailing: compaction never truncates sessions
+// the sink has not accepted — while the outage lasts, the journal only grows.
+func TestRetrySinkKeepsJournalWhileFailing(t *testing.T) {
+	journal := journalTemp(t)
+	sink := NewRetrySink(func([]session.Session) error {
+		return errors.New("still down")
+	}, RetryOptions{MaxAttempts: 1, Sleep: func(time.Duration) {}, DeadLetter: journal})
+
+	sink.Emit(testBatch("10.2.2.1", 1))
+	first := journalSize(t, journal)
+	sink.Emit(testBatch("10.2.2.2", 2))
+	second := journalSize(t, journal)
+	if first == 0 || second <= first {
+		t.Fatalf("journal sizes %d -> %d, want monotone growth while failing", first, second)
+	}
+	got, err := session.ReadAll(bytes.NewReader(readFileAll(t, journal)))
+	if err != nil {
+		t.Fatalf("journal corrupted while failing: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("journal holds %d sessions, want 2", len(got))
+	}
+}
+
+// TestRetrySinkPlainWriterJournalUntouched: a write-only dead-letter journal
+// (no read/seek/truncate) keeps the old append-forever behavior — compaction
+// is strictly opt-in via the writer's capabilities.
+func TestRetrySinkPlainWriterJournalUntouched(t *testing.T) {
+	var journal bytes.Buffer
+	failing := true
+	sink := NewRetrySink(func([]session.Session) error {
+		if failing {
+			return errors.New("outage")
+		}
+		return nil
+	}, RetryOptions{MaxAttempts: 1, Sleep: func(time.Duration) {}, DeadLetter: &journal})
+
+	sink.Emit(testBatch("10.2.3.1", 1))
+	before := journal.Len()
+	failing = false
+	sink.Emit(testBatch("10.2.3.2", 2))
+	if journal.Len() != before {
+		t.Fatalf("plain io.Writer journal changed size %d -> %d across recovery", before, journal.Len())
+	}
+}
+
+func readFileAll(t *testing.T, f *os.File) []byte {
+	t.Helper()
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 // TestRetrySinkBackoffCap: the backoff never exceeds MaxDelay no matter how
 // many retries run.

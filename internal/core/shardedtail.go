@@ -181,6 +181,11 @@ func defaultShardCount() int {
 // shardOf maps a user key to a shard index via FNV-1a (inlined to avoid the
 // hash.Hash32 allocation per record).
 func shardOf(user string, shards int) int {
+	if shards == 1 {
+		// Single-shard mode (the planner's sequential fallback): nothing to
+		// route, skip the hash.
+		return 0
+	}
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
