@@ -48,7 +48,9 @@
 //
 // -backfill streams an existing access log through the same sessionizer
 // before serving begins, so the live tail starts with history already in
-// place. The backfill uses the bounded-memory streaming reader (-workers
+// place. It accepts a comma-separated list of paths and/or globs
+// ("access.log*"), replayed in lexical order with gzip members decoded
+// transparently, and uses the bounded-memory streaming reader (-workers
 // parse goroutines, -stream-depth in-flight chunks), so arbitrarily large
 // history replays in fixed heap.
 package main
@@ -63,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -116,7 +119,7 @@ func main() {
 	flag.BoolVar(&o.combined, "combined", false, "write Combined Log Format")
 	flag.StringVar(&o.sessPath, "sessions", "", "sessionize traffic live, appending finalized sessions to this file")
 	flag.DurationVar(&o.expireEvery, "expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
-	flag.StringVar(&o.backfill, "backfill", "", "existing access log to stream through the sessionizer before serving (needs -sessions)")
+	flag.StringVar(&o.backfill, "backfill", "", "existing access logs to stream through the sessionizer before serving: paths/globs, gzip ok (needs -sessions)")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file (needs -log and -sessions)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 10*time.Second, "how often to snapshot state for -checkpoint")
 	flag.Parse()
@@ -181,16 +184,21 @@ func run(o options) error {
 		// replayed (checkpoint recovery replays -log, -backfill its own
 		// file); without a replay the live plan's sequential parse stands.
 		liveIn := plan.Input{SizeBytes: -1, Kind: plan.KindLive}
-		shape, replayPath := liveIn, ""
+		shape := liveIn
+		var replayPaths []string
 		if o.ckptPath != "" {
-			replayPath = o.logPath
+			replayPaths = []string{o.logPath}
 		} else if o.backfill != "" {
-			replayPath = o.backfill
+			var err error
+			replayPaths, err = clf.ResolveLogPaths(o.backfill)
+			if err != nil {
+				return err
+			}
 		}
 		var sample []byte
-		if replayPath != "" {
-			shape = plan.StatPath(replayPath)
-			sample = plan.SamplePath(replayPath)
+		if replayPaths != nil {
+			shape = plan.StatPaths(replayPaths)
+			sample = plan.SamplePaths(replayPaths)
 		}
 		pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, sample)
 		if o.shards.Auto {
@@ -229,7 +237,7 @@ func run(o options) error {
 				return err
 			}
 		} else if o.backfill != "" {
-			if err := s.tee.backfill(o.backfill); err != nil {
+			if err := s.tee.backfill(replayPaths); err != nil {
 				return err
 			}
 		}
@@ -362,6 +370,9 @@ func (s *server) recoverFromCheckpoint() error {
 	var logOff, sinkOff int64
 	if ck != nil {
 		switch {
+		case ck.LogPath != "" && ck.LogPath != s.logPath:
+			fmt.Fprintf(os.Stderr, "serve: checkpoint was for %s, -log is %s, replaying full log\n",
+				ck.LogPath, s.logPath)
 		case ck.LogOffset > logInfo.Size() || ck.SinkOffset > sessInfo.Size():
 			fmt.Fprintf(os.Stderr, "serve: checkpoint is ahead of %s/%s (rotated?), replaying full log\n",
 				s.logPath, s.sessPath)
@@ -377,22 +388,16 @@ func (s *server) recoverFromCheckpoint() error {
 		return err
 	}
 
-	lf, err := os.Open(s.logPath)
-	if err != nil {
-		return err
-	}
-	defer lf.Close()
-	if _, err := lf.Seek(logOff, io.SeekStart); err != nil {
-		return err
-	}
-	// Replay through the bounded-memory streaming reader, checkpointing as
-	// we go so a crash during a long recovery does not restart it from
-	// scratch.
-	malformed, err := s.tee.st.IngestOffsets(bufio.NewReader(lf), s.tee.emit, func(off int64) {
-		s.ckpt.MaybeSave(func() *checkpoint.Checkpoint {
-			return s.buildCheckpoint(logOff + off)
+	// Replay through the zero-copy source reader (mmap for the on-disk
+	// log), checkpointing as we go so a crash during a long recovery does
+	// not restart it from scratch.
+	malformed, err := s.tee.st.IngestFiles([]string{s.logPath}, clf.FilePos{Offset: logOff}, s.tee.emit,
+		func(pos clf.FilePos) error {
+			s.ckpt.MaybeSave(func() *checkpoint.Checkpoint {
+				return s.buildCheckpoint(pos.Offset)
+			})
+			return nil
 		})
-	})
 	if err != nil {
 		return fmt.Errorf("replay %s: %w", s.logPath, err)
 	}
@@ -443,6 +448,7 @@ func (s *server) buildCheckpoint(logOff int64) *checkpoint.Checkpoint {
 	}
 	return &checkpoint.Checkpoint{
 		LogOffset:  logOff,
+		LogPath:    s.logPath,
 		SinkOffset: sinkOff,
 		Tail:       s.tee.st.Snapshot(),
 	}
@@ -645,23 +651,19 @@ func (t *sessionTee) rotate(path string) error {
 	return old.Close()
 }
 
-// backfill streams an existing access log through the sessionizer before
-// the server starts, in bounded heap regardless of the log's size. Bursts
-// still open at the end of the history stay buffered so live traffic from
-// the same users continues them seamlessly.
-func (t *sessionTee) backfill(path string) error {
-	f, err := os.Open(path)
+// backfill streams an existing access log set — plain, gzip, or a rotated
+// sequence — through the sessionizer before the server starts, in bounded
+// heap regardless of the logs' size. Bursts still open at the end of the
+// history stay buffered so live traffic from the same users continues them
+// seamlessly.
+func (t *sessionTee) backfill(paths []string) error {
+	malformed, err := t.st.IngestFiles(paths, clf.FilePos{}, t.emit, nil)
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	malformed, err := t.st.Ingest(bufio.NewReader(f), t.emit)
-	if err != nil {
-		return fmt.Errorf("backfill %s: %w", path, err)
+		return fmt.Errorf("backfill %s: %w", strings.Join(paths, ","), err)
 	}
 	stats := t.st.Stats()
 	fmt.Printf("backfilled %s: records=%d malformed=%d sessions=%d (open bursts carry into live traffic)\n",
-		path, stats.Records, malformed, stats.Sessions)
+		strings.Join(paths, ","), stats.Records, malformed, stats.Sessions)
 	return nil
 }
 

@@ -88,7 +88,7 @@ func main() {
 		expireEvery = flag.Duration("expire-every", 0, "finalize quiet users this often while streaming (0 = auto: 30s for pipes/stdin, off for files; <0 = off)")
 	)
 	flag.StringVar(&o.topoPath, "topology", "", "topology JSON written by simgen (required)")
-	flag.StringVar(&o.logPath, "log", "", "CLF access log (required; - for stdin)")
+	flag.StringVar(&o.logPath, "log", "", "CLF access logs: comma-separated paths/globs, gzip ok (required; - for stdin)")
 	flag.StringVar(&o.heur, "heuristic", "heur4", "heur1|heur2|heur3|heur4|referrer (referrer needs a combined-format log)")
 	flag.BoolVar(&o.noClean, "no-clean", false, "skip the standard data-cleaning filter")
 	flag.BoolVar(&o.statsOnly, "stats-only", false, "print statistics but not the sessions")
@@ -140,28 +140,42 @@ func run(o options) error {
 		return err
 	}
 
-	in := os.Stdin
+	// -log accepts "-" (stdin), a single file, a comma list, or a glob
+	// ("access.log*") over plain and gzip files — the shapes a rotated
+	// retention window takes. paths stays nil for stdin.
+	var paths []string
 	if o.logPath != "-" {
-		in, err = os.Open(o.logPath)
-		if err != nil {
+		if paths, err = clf.ResolveLogPaths(o.logPath); err != nil {
 			return err
 		}
-		defer in.Close()
 	}
 
 	if o.heur == "referrer" {
 		if o.stream {
 			return fmt.Errorf("-stream does not support the referrer heuristic (it chains over the full record list)")
 		}
-		return runReferrer(g, in, o.statsOnly)
+		rc, _, err := clf.OpenLogInput(o.logPath)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		return runReferrer(g, rc, o.statsOnly)
 	}
 
 	h, err := pickHeuristic(o.heur, g)
 	if err != nil {
 		return err
 	}
-	shape := plan.Stat(in)
-	pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, plan.Sample(in))
+	var shape plan.Input
+	var sample []byte
+	if paths == nil {
+		shape = plan.Stat(os.Stdin)
+		sample = plan.Sample(os.Stdin)
+	} else {
+		shape = plan.StatPaths(paths)
+		sample = plan.SamplePaths(paths)
+	}
+	pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, sample)
 	for _, n := range notes {
 		fmt.Fprintln(os.Stderr, "sessionize:", n)
 	}
@@ -172,7 +186,7 @@ func run(o options) error {
 	}
 	if o.stream {
 		expire := o.expireEvery
-		if expire == 0 && shape.Kind != plan.KindFile {
+		if expire == 0 && shape.Kind == plan.KindPipe {
 			// Live-ish input: without periodic expiry an endless pipe would
 			// buffer every user's open burst until EOF never comes.
 			expire = 30 * time.Second
@@ -181,15 +195,20 @@ func run(o options) error {
 			expire = 0
 		}
 		if o.ckptPath != "" {
-			return runStreamCheckpointed(cfg, pl, expire, in, o.sessPath, o.ckptPath, o.ckptEvery)
+			return runStreamCheckpointed(cfg, pl, expire, paths, o.sessPath, o.ckptPath, o.ckptEvery)
 		}
-		return runStream(cfg, pl, expire, in, o.statsOnly, o.sessPath)
+		return runStream(cfg, pl, expire, paths, o.statsOnly, o.sessPath)
 	}
 	pipeline, err := core.NewPipeline(cfg)
 	if err != nil {
 		return err
 	}
-	res, err := pipeline.ProcessLog(bufio.NewReader(in))
+	in, _, err := clf.OpenLogInput(o.logPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	res, err := pipeline.ProcessLog(in)
 	if err != nil {
 		return err
 	}
@@ -238,10 +257,12 @@ func startExpireLoop(every time.Duration, tick func(time.Time)) (stop func()) {
 // streaming sessionizer fed in input order by the planned reader, writing
 // each session the moment its burst closes. Heap usage is independent of
 // log length, so this path handles logs larger than RAM and never-ending
-// stdin pipes. With expire > 0 a background sweep also finalizes users
-// quiet for longer than the session gap, so sessions keep flowing while
-// input does.
-func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File, statsOnly bool, sessPath string) error {
+// stdin pipes. File inputs (paths non-nil) go through the zero-copy source
+// layer — mmap windows for plain files, pooled decode for gzip members;
+// nil paths reads stdin. With expire > 0 a background sweep also finalizes
+// users quiet for longer than the session gap, so sessions keep flowing
+// while input does.
+func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, paths []string, statsOnly bool, sessPath string) error {
 	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
 	if err != nil {
 		return err
@@ -282,7 +303,12 @@ func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File,
 			os.Exit(1)
 		}
 	})
-	malformed, err := st.Ingest(bufio.NewReader(in), sink)
+	var malformed int
+	if paths == nil {
+		malformed, err = st.Ingest(bufio.NewReader(os.Stdin), sink)
+	} else {
+		malformed, err = st.IngestFiles(paths, clf.FilePos{}, sink, nil)
+	}
 	stopExpire()
 	if err != nil {
 		return err
@@ -295,16 +321,50 @@ func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File,
 	return nil
 }
 
+// validateResume decides whether a loaded checkpoint can position a resume
+// within the resolved input set, returning the start position or a non-empty
+// reason to fall back to a full replay. A checkpoint written before
+// multi-file support (no LogPath) is honored only against a single-file set;
+// otherwise the recorded path must still sit at the recorded index, so a
+// rotated or renamed set degrades to replay instead of resuming into the
+// wrong file. Plain-file offsets are bounds-checked; gzip offsets count
+// decoded bytes, so their validation happens when the decoder discards to
+// the offset.
+func validateResume(ck *checkpoint.Checkpoint, paths []string) (clf.FilePos, string) {
+	if ck.LogFile < 0 || ck.LogFile >= len(paths) {
+		return clf.FilePos{}, fmt.Sprintf("checkpoint file index %d outside the %d-file input set", ck.LogFile, len(paths))
+	}
+	target := paths[ck.LogFile]
+	switch {
+	case ck.LogPath == "" && len(paths) > 1:
+		return clf.FilePos{}, "single-file checkpoint cannot place itself in a multi-file set"
+	case ck.LogPath != "" && ck.LogPath != target:
+		return clf.FilePos{}, fmt.Sprintf("checkpoint was at %s, input set now has %s there", ck.LogPath, target)
+	}
+	if !clf.IsGzipFile(target) {
+		fi, err := os.Stat(target)
+		if err != nil {
+			return clf.FilePos{}, fmt.Sprintf("stat %s: %v", target, err)
+		}
+		if ck.LogOffset > fi.Size() {
+			return clf.FilePos{}, "checkpoint is ahead of the log"
+		}
+	}
+	return clf.FilePos{File: ck.LogFile, Offset: ck.LogOffset}, ""
+}
+
 // runStreamCheckpointed is runStream made crash-safe: it resumes from the
 // latest valid checkpoint (restoring the sessionizer and truncating the
 // session file to the recorded offset, so the replayed log suffix re-emits
 // exactly the sessions the interruption cut off) and snapshots periodically
-// at chunk boundaries while streaming. A missing, corrupt, or stale
-// checkpoint falls back to a full run from the start of the log. The
-// optional expire sweep shares the sink mutex with the write and snapshot
-// paths, so every checkpoint records a consistent (log offset, session
-// offset, open bursts) cut even while expiry is emitting.
-func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, in *os.File, sessPath, ckptPath string, every time.Duration) error {
+// at chunk boundaries while streaming — across the whole multi-file set,
+// with (file index, byte offset) positions so a kill inside access.log.2.gz
+// resumes there. A missing, corrupt, or stale checkpoint falls back to a
+// full run from the start of the set. The optional expire sweep shares the
+// sink mutex with the write and snapshot paths, so every checkpoint records
+// a consistent (log position, session offset, open bursts) cut even while
+// expiry is emitting.
+func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, paths []string, sessPath, ckptPath string, every time.Duration) error {
 	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
 	if err != nil {
 		return err
@@ -321,25 +381,25 @@ func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, 
 		return err
 	}
 	defer sf.Close()
-	logInfo, err := in.Stat()
-	if err != nil {
-		return err
-	}
 	sessInfo, err := sf.Stat()
 	if err != nil {
 		return err
 	}
 
-	var logOff, sinkOff int64
+	var start clf.FilePos
+	var sinkOff int64
 	if ck != nil {
+		pos, why := validateResume(ck, paths)
 		switch {
-		case ck.LogOffset > logInfo.Size() || ck.SinkOffset > sessInfo.Size():
-			fmt.Fprintln(os.Stderr, "sessionize: checkpoint is ahead of the log or session file, starting over")
+		case why != "":
+			fmt.Fprintln(os.Stderr, "sessionize: checkpoint stale, starting over:", why)
+		case ck.SinkOffset > sessInfo.Size():
+			fmt.Fprintln(os.Stderr, "sessionize: checkpoint is ahead of the session file, starting over")
 		default:
 			if err := st.Restore(ck.Tail); err != nil {
 				fmt.Fprintln(os.Stderr, "sessionize: checkpoint rejected, starting over:", err)
 			} else {
-				logOff, sinkOff = ck.LogOffset, ck.SinkOffset
+				start, sinkOff = pos, ck.SinkOffset
 			}
 		}
 	}
@@ -349,17 +409,15 @@ func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, 
 	if _, err := sf.Seek(sinkOff, io.SeekStart); err != nil {
 		return err
 	}
-	if _, err := in.Seek(logOff, io.SeekStart); err != nil {
-		return err
-	}
-	if logOff > 0 {
+	if start.File > 0 || start.Offset > 0 {
 		fmt.Fprintf(os.Stderr, "sessionize: resuming %s from byte %d (session file at %d)\n",
-			logInfo.Name(), logOff, sinkOff)
+			paths[start.File], start.Offset, sinkOff)
 	}
 
 	w := checkpoint.NewWriter(checkpoint.OS, ckptPath, every)
 	var mu sync.Mutex
 	good := sinkOff
+	cur := start
 	var sinkErr error
 	// Caller holds mu.
 	emit := func(s []session.Session) {
@@ -378,15 +436,16 @@ func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, 
 		}
 		emit(st.Expire(now))
 	})
-	malformed, err := st.IngestOffsets(bufio.NewReader(in), func(s []session.Session) {
+	malformed, err := st.IngestFiles(paths, start, func(s []session.Session) {
 		mu.Lock()
 		defer mu.Unlock()
 		emit(s)
-	}, func(off int64) {
+	}, func(pos clf.FilePos) error {
 		mu.Lock()
 		defer mu.Unlock()
+		cur = pos
 		if sinkErr != nil {
-			return
+			return nil
 		}
 		// A failed save only costs recovery granularity: the previous
 		// checkpoint file stays valid (atomic rename), so keep streaming.
@@ -394,10 +453,14 @@ func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, 
 			if err := sf.Sync(); err != nil {
 				fmt.Fprintln(os.Stderr, "sessionize: session file sync:", err)
 			}
-			return &checkpoint.Checkpoint{LogOffset: logOff + off, SinkOffset: good, Tail: st.Snapshot()}
+			return &checkpoint.Checkpoint{
+				LogOffset: pos.Offset, LogFile: pos.File, LogPath: paths[pos.File],
+				SinkOffset: good, Tail: st.Snapshot(),
+			}
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sessionize: checkpoint:", err)
 		}
+		return nil
 	})
 	stopExpire()
 	if err != nil {
@@ -413,15 +476,14 @@ func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, 
 		return err
 	}
 	// The run is complete: record that, so a rerun replays nothing.
-	end, err := in.Seek(0, io.SeekCurrent)
-	if err != nil {
-		return err
-	}
 	good, err = sf.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return err
 	}
-	if err := w.Save(&checkpoint.Checkpoint{LogOffset: end, SinkOffset: good, Tail: st.Snapshot()}); err != nil {
+	if err := w.Save(&checkpoint.Checkpoint{
+		LogOffset: cur.Offset, LogFile: cur.File, LogPath: paths[cur.File],
+		SinkOffset: good, Tail: st.Snapshot(),
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sessionize: final checkpoint:", err)
 	}
 	printStreamStats(cfg, st, malformed)
@@ -454,8 +516,8 @@ func writeSessions(sessPath string, sessions []session.Session) error {
 }
 
 // runReferrer sessionizes a combined-format log by referrer chaining.
-func runReferrer(g *webgraph.Graph, in *os.File, statsOnly bool) error {
-	records, malformed, err := clf.ReadAll(bufio.NewReader(in))
+func runReferrer(g *webgraph.Graph, in io.Reader, statsOnly bool) error {
+	records, malformed, err := clf.ReadAll(in)
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,18 @@ type Checkpoint struct {
 	SinkOffset int64
 	// Tail is the sessionizer state at LogOffset.
 	Tail core.TailSnapshot
+	// LogFile indexes the (lexically ordered) multi-file input set that
+	// LogOffset applies to; 0 for single-file inputs, so checkpoints written
+	// before multi-file support decode with the correct meaning. For gzip
+	// members LogOffset counts decoded bytes. Gob tolerates the added
+	// fields, so the file format version is unchanged.
+	LogFile int
+	// LogPath is the path LogFile referred to when the checkpoint was
+	// written. Recovery validates it still names the same position in the
+	// resolved set — a rotated/renamed set makes the checkpoint stale
+	// (degrade to full replay) instead of silently replaying the wrong
+	// file. Empty in pre-multi-file checkpoints, which skips the check.
+	LogPath string
 }
 
 // ErrCorrupt reports a checkpoint file that exists but cannot be trusted:

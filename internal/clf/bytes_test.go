@@ -267,11 +267,19 @@ func TestReadAllParallelNoTrailingNewline(t *testing.T) {
 }
 
 func TestReadAllParallelOversizedLine(t *testing.T) {
-	huge := strings.Repeat("a", maxLineBytes+2)
-	_, _, seqErr := ReadAll(strings.NewReader(huge))
-	_, _, parErr := ReadAllParallel(strings.NewReader(huge), 4)
-	if seqErr == nil || parErr == nil {
-		t.Fatalf("oversized line: sequential err=%v, parallel err=%v (want both non-nil)", seqErr, parErr)
+	// Skip-and-count: the over-long line becomes one malformed line on both
+	// paths, and its unterminated tail at EOF does not double-count.
+	huge := sampleLine + "\n" + strings.Repeat("a", maxLineBytes+2)
+	seq, seqBad, seqErr := ReadAll(strings.NewReader(huge))
+	par, parBad, parErr := ReadAllParallel(strings.NewReader(huge), 4)
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("oversized line must not abort: sequential err=%v, parallel err=%v", seqErr, parErr)
+	}
+	if len(seq) != 1 || len(par) != 1 {
+		t.Fatalf("records: sequential %d, parallel %d, want 1", len(seq), len(par))
+	}
+	if seqBad != 1 || parBad != 1 {
+		t.Fatalf("malformed: sequential %d, parallel %d, want 1", seqBad, parBad)
 	}
 }
 

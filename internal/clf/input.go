@@ -1,0 +1,185 @@
+package clf
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ResolveLogPaths expands a -log flag value into the ordered list of files
+// it names: a comma-separated list of paths and/or globs ("access.log*"),
+// resolved, deduplicated, and sorted lexically — the order rotated log sets
+// like access.log.1.gz, access.log.2.gz are replayed in. The spec "-"
+// (stdin) is the caller's to handle; here it is rejected, as is a glob that
+// matches nothing.
+func ResolveLogPaths(spec string) ([]string, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "-" {
+			return nil, fmt.Errorf("clf: %q cannot combine stdin with file inputs", spec)
+		}
+		matches := []string{part}
+		if strings.ContainsAny(part, "*?[") {
+			var err error
+			matches, err = filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("clf: bad glob %q: %w", part, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("clf: no files match %q", part)
+			}
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				paths = append(paths, m)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("clf: no input files in %q", spec)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// IsGzipFile reports whether path starts with the gzip magic bytes (the
+// same sniff the Source layer and OpenDecoded use). False for unreadable
+// paths.
+func IsGzipFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return sniffGzip(f)
+}
+
+// OpenDecoded opens one log file for reading, transparently decoding gzip
+// (sniffed by magic bytes, not extension). Closing the returned ReadCloser
+// closes both the decoder and the file.
+func OpenDecoded(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !sniffGzip(f) {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("clf: gzip %s: %w", path, err)
+	}
+	return &stackedCloser{Reader: gz, closers: []io.Closer{gz, f}}, nil
+}
+
+type stackedCloser struct {
+	io.Reader
+	closers []io.Closer
+}
+
+func (s *stackedCloser) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}
+
+// OpenLogInput is the shared CLI input opener: spec "-" yields stdin, and
+// anything else resolves through ResolveLogPaths into a single logical
+// stream — each file gzip-sniffed and decoded, concatenated in lexical
+// order with a newline injected between files whose last line lacks one
+// (so a record straddling a rotation boundary never merges with the next
+// file's first line). It also returns the resolved paths (nil for stdin)
+// so callers that stream per-file — checkpointed ingestion — can use the
+// same resolution.
+func OpenLogInput(spec string) (io.ReadCloser, []string, error) {
+	if spec == "-" {
+		return io.NopCloser(os.Stdin), nil, nil
+	}
+	paths, err := ResolveLogPaths(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &concatReader{paths: paths}, paths, nil
+}
+
+// concatReader streams the decoded contents of a file list, opening each
+// lazily and separating files with an injected '\n' when needed.
+type concatReader struct {
+	paths  []string
+	next   int
+	cur    io.ReadCloser
+	last   byte
+	sawAny bool
+	needNL bool
+}
+
+func (c *concatReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if c.needNL {
+			c.needNL = false
+			p[0] = '\n'
+			return 1, nil
+		}
+		if c.cur == nil {
+			if c.next >= len(c.paths) {
+				return 0, io.EOF
+			}
+			rc, err := OpenDecoded(c.paths[c.next])
+			if err != nil {
+				return 0, err
+			}
+			c.cur, c.sawAny = rc, false
+			c.next++
+		}
+		n, err := c.cur.Read(p)
+		if n > 0 {
+			c.last = p[n-1]
+			c.sawAny = true
+		}
+		if err == io.EOF {
+			cerr := c.cur.Close()
+			c.cur = nil
+			if cerr != nil {
+				return n, cerr
+			}
+			if c.sawAny && c.last != '\n' && c.next < len(c.paths) {
+				c.needNL = true
+			}
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		if n > 0 || err != nil {
+			return n, err
+		}
+	}
+}
+
+func (c *concatReader) Close() error {
+	if c.cur == nil {
+		return nil
+	}
+	err := c.cur.Close()
+	c.cur = nil
+	return err
+}

@@ -1,0 +1,134 @@
+package clf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// errLineTooLong is lineScanner's per-line verdict for input lines whose
+// content (excluding the terminating '\n') exceeds maxLineBytes. It is
+// reported exactly once per over-long line; the line's bytes are discarded
+// without ever being buffered whole, so a hostile 10 GiB "line" costs a
+// bounded buffer, not an abort and not 10 GiB of heap.
+var errLineTooLong = errors.New("clf: line exceeds the 1 MiB line cap")
+
+// maxConsecutiveEmptyReads mirrors bufio.Scanner's guard against readers
+// that spin returning (0, nil).
+const maxConsecutiveEmptyReads = 100
+
+// lineScanner is a hand-rolled replacement for bufio.Scanner+ScanLines on
+// the sequential read path: it finds line boundaries with bytes.IndexByte
+// over a growable buffer and hands out sub-slices of that buffer — no
+// per-line token copy, no split-function indirection. Semantics match
+// bufio.ScanLines (lines end at '\n', one trailing '\r' is dropped, a final
+// unterminated line is yielded — even ahead of a read error, as bufio does)
+// except for over-long lines: where bufio.Scanner aborts the whole scan with
+// ErrTooLong, lineScanner skips the line and reports errLineTooLong once, so
+// one hostile line cannot stop ingestion of everything after it.
+type lineScanner struct {
+	r          io.Reader
+	buf        []byte
+	start, end int   // buf[start:end] is unconsumed input
+	rerr       error // sticky read result (io.EOF or a real error)
+	skipping   bool  // discarding the tail of an over-long line
+	emptyReads int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	return &lineScanner{r: r, buf: make([]byte, 64*1024)}
+}
+
+// next returns the next line with its terminator removed. At end of input it
+// returns (nil, io.EOF); an over-long line returns (nil, errLineTooLong) and
+// the scan continues past it; any other error is a read error and terminal.
+// The returned slice aliases the scanner's buffer and is valid only until
+// the following call.
+func (ls *lineScanner) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(ls.buf[ls.start:ls.end], '\n'); i >= 0 {
+			line := ls.buf[ls.start : ls.start+i]
+			ls.start += i + 1
+			if ls.skipping {
+				// Tail of a line already reported as over-long.
+				ls.skipping = false
+				continue
+			}
+			if len(line) > maxLineBytes {
+				return nil, errLineTooLong
+			}
+			return dropCR(line), nil
+		}
+		// No newline buffered. If the unterminated prefix already exceeds the
+		// cap, this line can never be returned: report it, drop the bytes,
+		// and skip forward to its newline.
+		if ls.skipping {
+			ls.start, ls.end = 0, 0
+		} else if ls.end-ls.start > maxLineBytes {
+			ls.start, ls.end = 0, 0
+			ls.skipping = true
+			return nil, errLineTooLong
+		}
+		if ls.rerr != nil {
+			if ls.skipping {
+				// The over-long line ran into end-of-input; already reported.
+				ls.skipping = false
+				return nil, ls.rerr
+			}
+			line := ls.buf[ls.start:ls.end]
+			ls.start = ls.end
+			if len(line) > 0 {
+				// Final unterminated line (bufio yields it before surfacing
+				// the sticky error, EOF or not — so do we).
+				return dropCR(line), nil
+			}
+			return nil, ls.rerr
+		}
+		ls.fill()
+	}
+}
+
+// fill compacts, grows if needed, and reads once.
+func (ls *lineScanner) fill() {
+	if ls.start > 0 {
+		copy(ls.buf, ls.buf[ls.start:ls.end])
+		ls.end -= ls.start
+		ls.start = 0
+	}
+	if ls.end == len(ls.buf) {
+		// Double up to just past the line cap: the over-long check in next()
+		// fires strictly before the buffer would need to exceed this.
+		n := 2 * len(ls.buf)
+		if cap := maxLineBytes + 64*1024; n > cap {
+			n = cap
+		}
+		nb := make([]byte, n)
+		copy(nb, ls.buf[:ls.end])
+		ls.buf = nb
+	}
+	n, err := ls.r.Read(ls.buf[ls.end:])
+	if n < 0 {
+		err = errors.New("clf: reader returned a negative count")
+	} else {
+		ls.end += n
+	}
+	switch {
+	case err != nil:
+		ls.rerr = err
+	case n == 0:
+		ls.emptyReads++
+		if ls.emptyReads >= maxConsecutiveEmptyReads {
+			ls.rerr = io.ErrNoProgress
+		}
+	default:
+		ls.emptyReads = 0
+	}
+}
+
+// dropCR drops one terminal \r, mirroring bufio.ScanLines.
+func dropCR(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		return b[:n-1]
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package clf
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// scanAllLines drains a lineScanner, returning the line sequence, how many
+// over-long lines were skipped, and the terminal error (nil for clean EOF).
+func scanAllLines(r io.Reader) (lines []string, skipped int, err error) {
+	ls := newLineScanner(r)
+	for {
+		line, lerr := ls.next()
+		switch lerr {
+		case nil:
+			lines = append(lines, string(line))
+		case errLineTooLong:
+			skipped++
+		case io.EOF:
+			return lines, skipped, nil
+		default:
+			return lines, skipped, lerr
+		}
+	}
+}
+
+// FuzzLineScanner pins the IndexByte line splitter against bufio.Scanner +
+// ScanLines for arbitrary input — CRLF, NUL bytes, missing final newline —
+// delivered both in large blocks and one byte at a time. Fuzz inputs stay
+// far below the 1 MiB cap, so the two must agree exactly; the long-line
+// divergence (skip vs abort) is pinned by TestLineScannerLongLinePolicy.
+func FuzzLineScanner(f *testing.F) {
+	f.Add([]byte("a\nbb\nccc"), false)
+	f.Add([]byte("one\r\ntwo\r\n\r\n"), true)
+	f.Add([]byte("\x00\n\x00\x00\r\n\r"), false)
+	f.Add([]byte("no terminator"), true)
+	f.Add([]byte("\n\n\n"), false)
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, input []byte, oneByte bool) {
+		if len(input) > 1<<16 {
+			return
+		}
+		ref := bufio.NewScanner(bytes.NewReader(input))
+		ref.Buffer(make([]byte, 0, 64), 1<<17)
+		var want []string
+		for ref.Scan() {
+			want = append(want, ref.Text())
+		}
+		if err := ref.Err(); err != nil {
+			t.Fatalf("reference scanner: %v", err)
+		}
+		var r io.Reader = bytes.NewReader(input)
+		if oneByte {
+			r = iotest.OneByteReader(r)
+		}
+		got, skipped, err := scanAllLines(r)
+		if err != nil || skipped != 0 {
+			t.Fatalf("lineScanner: err=%v skipped=%d", err, skipped)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d lines, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("line %d: %q, want %q", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestLineScannerLongLinePolicy pins the skip-and-count behavior at the
+// 1 MiB boundary: a line of exactly maxLineBytes passes through, one byte
+// more is skipped (reported once) without disturbing its neighbors — even
+// when the over-long line is unterminated at EOF, spans many read blocks,
+// or is the CR of a CRLF pushing it over the cap.
+func TestLineScannerLongLinePolicy(t *testing.T) {
+	atCap := strings.Repeat("a", maxLineBytes)
+	over := strings.Repeat("b", maxLineBytes+1)
+	cases := []struct {
+		name    string
+		input   string
+		want    []string
+		skipped int
+	}{
+		{"exactly at cap", atCap + "\nok\n", []string{atCap, "ok"}, 0},
+		{"one over cap", over + "\nok\n", []string{"ok"}, 1},
+		{"over cap at EOF unterminated", "ok\n" + over, []string{"ok"}, 1},
+		{"between neighbors", "pre\n" + over + "\npost\n", []string{"pre", "post"}, 1},
+		{"cr pushes over cap", atCap + "\r\nok\n", []string{"ok"}, 1},
+		{"two over-long in a row", over + "\n" + over + "\nok", []string{"ok"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, skipped, err := scanAllLines(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped != tc.skipped {
+				t.Fatalf("skipped %d, want %d", skipped, tc.skipped)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("%d lines, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("line %d differs (len %d vs %d)", i, len(got[i]), len(tc.want[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestScannerLongLineRetainsError: the Scanner surfaces a skipped over-long
+// line as a counted malformed line with a retained ParseError, not a read
+// error — the scan continues.
+func TestScannerLongLineRetainsError(t *testing.T) {
+	input := sampleLine + "\n" + strings.Repeat("x", maxLineBytes+2) + "\n" + sampleLine + "\n"
+	sc := NewScanner(strings.NewReader(input))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("long line must not become a read error: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("records = %d, want 2", n)
+	}
+	bad, details := sc.Malformed()
+	if bad != 1 || len(details) != 1 {
+		t.Fatalf("malformed = %d (%d retained), want 1", bad, len(details))
+	}
+	if details[0].LineNo != 2 {
+		t.Fatalf("retained LineNo = %d, want 2", details[0].LineNo)
+	}
+	if !strings.Contains(details[0].Reason, "1 MiB") {
+		t.Fatalf("retained reason = %q", details[0].Reason)
+	}
+}
+
+// TestLineScannerFinalLineBeforeReadError mirrors bufio.Scanner: a partial
+// final line buffered when the reader fails is still yielded before the
+// error surfaces.
+func TestLineScannerFinalLineBeforeReadError(t *testing.T) {
+	r := io.MultiReader(strings.NewReader("complete\npartial"), iotest.ErrReader(io.ErrClosedPipe))
+	got, skipped, err := scanAllLines(r)
+	if err != io.ErrClosedPipe {
+		t.Fatalf("err = %v, want ErrClosedPipe", err)
+	}
+	if skipped != 0 || len(got) != 2 || got[0] != "complete" || got[1] != "partial" {
+		t.Fatalf("got %q (skipped %d)", got, skipped)
+	}
+}

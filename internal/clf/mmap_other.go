@@ -1,0 +1,27 @@
+//go:build !unix
+
+package clf
+
+import (
+	"io"
+	"os"
+)
+
+// MmapSupported reports whether this build can memory-map input files.
+// Non-unix builds fall back to reading the whole file with io.ReadFull;
+// the Source contract (line-aligned []byte windows) is identical, only the
+// zero-copy property is lost.
+const MmapSupported = false
+
+// mmapFile emulates a read-only mapping by loading the file into memory.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	noop := func() error { return nil }
+	if size == 0 {
+		return nil, noop, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, noop, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package clf
+
+import (
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether this build can memory-map input files.
+// On unix builds the stdlib syscall layer is used directly (MAP_PRIVATE,
+// PROT_READ) so no external dependency is needed.
+const MmapSupported = true
+
+// mmapFile maps f read-only and returns the mapping plus an unmap func.
+// size must be f's current length. A zero-length file returns (nil, nil)
+// with a no-op unmap, since mmap(2) rejects length 0.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

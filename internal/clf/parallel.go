@@ -42,10 +42,26 @@ func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int,
 
 // parseChunk parses every line of one chunk (the final line may lack a
 // trailing newline), skipping blank lines and counting malformed ones,
-// mirroring the Scanner's accounting. Each chunk gets its own string-intern
-// arena, so repeated hosts/URIs/referers/agents within the batch are copied
-// once instead of once per record.
+// mirroring the Scanner's accounting — including the over-long-line policy:
+// a line past the 1 MiB cap (possible when a Source serves windows larger
+// than the cap, e.g. an mmap window grown around a huge line) is counted and
+// skipped, exactly as the sequential lineScanner does. Each chunk gets its
+// own string-intern arena, so repeated hosts/URIs/referers/agents within the
+// batch are copied once instead of once per record.
 func parseChunk(data []byte) (recs []Record, bad int) {
+	// Records are pointer-heavy (five strings each), so an append-grown
+	// slice pays repeated copy + write-barrier bills; size it once from the
+	// shortest plausible line so growth is the exception.
+	recs = make([]Record, 0, len(data)/48+1)
+	_, bad = parseChunkEmit(data, func(rec Record) { recs = append(recs, rec) })
+	return recs, bad
+}
+
+// parseChunkEmit is parseChunk without the slice: it hands each record to
+// emit as it is parsed. The sequential source loop uses it directly —
+// accumulating a chunk's worth of Records just to iterate them costs more
+// in allocation and GC barrier traffic than the parse itself.
+func parseChunkEmit(data []byte, emit func(Record)) (n, bad int) {
 	in := newInternTable()
 	for len(data) > 0 {
 		var line []byte
@@ -53,6 +69,10 @@ func parseChunk(data []byte) (recs []Record, bad int) {
 			line, data = data[:nl], data[nl+1:]
 		} else {
 			line, data = data, nil
+		}
+		if len(line) > maxLineBytes {
+			bad++
+			continue
 		}
 		if isBlankBytes(line) {
 			continue
@@ -62,7 +82,8 @@ func parseChunk(data []byte) (recs []Record, bad int) {
 			bad++
 			continue
 		}
-		recs = append(recs, rec)
+		emit(rec)
+		n++
 	}
-	return recs, bad
+	return n, bad
 }

@@ -1,12 +1,11 @@
 package clf
 
 import (
-	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultStreamDepth is the default depth of StreamParallel's in-order
@@ -73,29 +72,10 @@ func StreamParallelOffsetsChunked(r io.Reader, workers, depth, chunkBytes int, e
 	return streamParallel(r, workers, depth, chunkBytes, emit, progress)
 }
 
-// parsedChunk is one chunk's parse result.
-type parsedChunk struct {
-	recs []Record
-	bad  int
-}
-
-// streamJob carries one line-aligned chunk through the pipeline. done is
-// 1-buffered so a worker never blocks handing its result back. end is the
-// byte offset just past the chunk, relative to the start of the input.
-type streamJob struct {
-	data []byte
-	end  int64
-	done chan parsedChunk
-}
-
-// streamParallel is StreamParallel with the chunk size exposed so tests can
-// force chunk boundaries through every split edge case (FuzzStreamChunks).
-//
-// Shape: one producer goroutine cuts r into line-aligned chunks and sends
-// each job to both the workers (via work) and the consumer (via order, whose
-// fixed buffer is the backpressure bound); the calling goroutine drains
-// order in FIFO — input order — waiting on each job's own done channel, so
-// delivery order never depends on worker scheduling.
+// streamParallel adapts the single-reader entry points onto the source
+// engine: the reader becomes one buffered Source and offsets lose their file
+// index. The sequential degrade (workers == 1 without offsets) is kept so
+// pipes retain per-line latency instead of waiting for a chunk to fill.
 func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record), progress func(int64)) (malformed int, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -105,12 +85,196 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 	if workers == 1 && progress == nil {
 		return Stream(r, emit)
 	}
+	var fileProgress func(FilePos) error
+	if progress != nil {
+		fileProgress = func(pos FilePos) error {
+			progress(pos.Offset)
+			return nil
+		}
+	}
+	src := newReaderSource(r, SourceReader, 0) // no closers: r is borrowed
+	open := func(int) (Source, error) { return src, nil }
+	return streamSources(1, 0, open, workers, depth, chunkSize, emit, fileProgress)
+}
+
+// StreamConfig tunes StreamFiles. Zero values mean: GOMAXPROCS workers,
+// DefaultStreamDepth, ~1 MiB chunks, start at the first byte of the first
+// file, mmap allowed.
+type StreamConfig struct {
+	// Workers is the parse fan-out; <= 0 means GOMAXPROCS. Workers == 1
+	// runs a direct sequential loop with no pipeline goroutines at all.
+	Workers int
+	// Depth bounds in-flight parsed chunks; <= 0 means DefaultStreamDepth.
+	Depth int
+	// ChunkBytes is the target chunk size; <= 0 means ~1 MiB.
+	ChunkBytes int
+	// Start is the resume position: files before Start.File are skipped and
+	// Start.File begins at Start.Offset (a line boundary previously reported
+	// through progress; decoded bytes for gzip members).
+	Start FilePos
+	// NoMmap forces the buffered reader for plain files (benchmarks and
+	// equivalence tests; gzip always decodes through the buffered path).
+	NoMmap bool
+}
+
+// StreamFiles streams the records of an ordered multi-file log set — plain,
+// gzip, or mixed, as a rotated retention window produces — in input order
+// through the same bounded pipeline as StreamParallel. Each file is opened
+// as the best Source for its content: mmap windows for plain files (chunks
+// alias the mapping; no line is ever copied between read and parse), the
+// buffered reader for pipes or when mmap is unavailable, gzip decoding for
+// compressed members — with upcoming gzip members decoded ahead on their own
+// goroutines so decompression overlaps parsing when workers > 1.
+//
+// Files are independent record streams: a final line without a trailing
+// newline still parses, exactly as if the files were concatenated with
+// newline separators (OpenLogInput's batch view). After each chunk's records
+// are emitted, progress (if non-nil) receives the line-aligned FilePos just
+// past the chunk; a non-nil error from progress aborts the stream and is
+// returned, which checkpointing consumers use to stop cleanly mid-set.
+// Over-long lines (> 1 MiB) are skipped and counted as malformed.
+func StreamFiles(paths []string, cfg StreamConfig, emit func(Record), progress func(FilePos) error) (malformed int, err error) {
+	first := cfg.Start.File
+	if first < 0 {
+		first = 0
+	}
+	if first >= len(paths) {
+		return 0, nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunkBytes := cfg.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = readChunkSize
+	}
+
+	// Decode-ahead: when the pool is parsing file i, up to lookahead of the
+	// next gzip members decompress concurrently on their own goroutines.
+	lookahead := 0
+	if workers > 1 {
+		lookahead = workers - 1
+		if lookahead > 4 {
+			lookahead = 4
+		}
+	}
+	ahead := make(map[int]Source)
+	defer func() {
+		// Close prefetched sources never consumed (early abort or error).
+		for _, s := range ahead {
+			s.Close()
+		}
+	}()
+	open := func(i int) (Source, error) {
+		s, ok := ahead[i]
+		if !ok {
+			var off int64
+			if i == cfg.Start.File {
+				off = cfg.Start.Offset
+			}
+			var err error
+			if s, err = openSourceAt(paths[i], off, cfg.NoMmap); err != nil {
+				return nil, err
+			}
+		}
+		delete(ahead, i)
+		for k := i + 1; k <= i+lookahead && k < len(paths); k++ {
+			if _, ok := ahead[k]; ok {
+				continue
+			}
+			ns, err := openSourceAt(paths[k], 0, cfg.NoMmap)
+			if err != nil {
+				break // the open(k) that matters will report it
+			}
+			if ns.Kind() == SourceGzip {
+				ns = newAsyncSource(ns, chunkBytes)
+			}
+			ahead[k] = ns
+		}
+		return s, nil
+	}
+	return streamSources(len(paths), first, open, workers, cfg.Depth, chunkBytes, emit, progress)
+}
+
+// parsedChunk is one chunk's parse result.
+type parsedChunk struct {
+	recs []Record
+	bad  int
+}
+
+// sourceJob carries one line-aligned chunk through the pipeline. done is
+// 1-buffered so a worker never blocks handing its result back. A job with
+// closer set is a close sentinel: it follows every data job of its source
+// through the FIFO order channel, so by the time the consumer reaches it all
+// of that source's chunks have been fully parsed and the source — possibly
+// an mmap whose windows those chunks aliased — is safe to close.
+type sourceJob struct {
+	data    []byte
+	pos     FilePos
+	skipped int
+	done    chan parsedChunk
+	closer  Source
+}
+
+// streamSources runs the parse pipeline over n ordered sources, opened
+// lazily by open, starting at index first.
+//
+// Shape: one producer goroutine pulls line-aligned chunks from each source
+// in turn and sends each job to both the workers (via work) and the consumer
+// (via order, whose fixed buffer is the backpressure bound); the calling
+// goroutine drains order in FIFO — input order — waiting on each job's own
+// done channel, so delivery order never depends on worker scheduling.
+// workers == 1 skips the goroutines entirely and parses inline.
+func streamSources(n, first int, open func(int) (Source, error), workers, depth, chunkBytes int, emit func(Record), progress func(FilePos) error) (malformed int, err error) {
+	records := 0
+	defer func() {
+		metricRecords.Add(int64(records))
+		metricMalformed.Add(int64(malformed))
+	}()
+
+	if workers == 1 {
+		// Direct sequential loop: source → parseChunkEmit → emit, no
+		// pipeline. This is the mmap fast path on one core — no goroutine
+		// handoffs, no chunk copies, no per-chunk record slice, just window
+		// slicing and the byte-level parser.
+		for i := first; i < n; i++ {
+			src, err := open(i)
+			if err != nil {
+				return malformed, err
+			}
+			for {
+				data, end, skipped, nerr := src.NextChunk(chunkBytes)
+				if nerr != nil {
+					cerr := src.Close()
+					if nerr != io.EOF {
+						return malformed, nerr
+					}
+					if cerr != nil {
+						return malformed, cerr
+					}
+					break
+				}
+				malformed += skipped
+				nrec, bad := parseChunkEmit(data, emit)
+				records += nrec
+				malformed += bad
+				if progress != nil {
+					if perr := progress(FilePos{File: i, Offset: end}); perr != nil {
+						src.Close()
+						return malformed, perr
+					}
+				}
+			}
+		}
+		return malformed, nil
+	}
+
 	if depth <= 0 {
 		depth = DefaultStreamDepth
 	}
-
-	work := make(chan *streamJob)
-	order := make(chan *streamJob, depth)
+	work := make(chan *sourceJob)
+	order := make(chan *sourceJob, depth)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -123,78 +287,83 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 		}()
 	}
 
-	// The producer reads blocks and cuts them at the last newline; the
-	// remainder carries into the next chunk so no line is split. Sending to
-	// order before work keeps the consumer's view strictly FIFO and makes
-	// the order buffer the only admission gate.
+	// aborted is set by the consumer when progress rejects; the producer
+	// stops cutting chunks, and the consumer keeps draining (without
+	// emitting) so every in-flight job completes and every source closes.
+	var aborted atomic.Bool
 	var readErr error
 	go func() {
 		defer close(order)
 		defer close(work)
-		// Dispatched chunks partition the consumed input prefix exactly, so
-		// the running sum of their lengths is the absolute byte offset each
-		// chunk ends at.
-		var off int64
-		dispatch := func(data []byte) {
-			off += int64(len(data))
-			j := &streamJob{data: data, end: off, done: make(chan parsedChunk, 1)}
-			order <- j
-			work <- j
-		}
-		var carry []byte
-		for {
-			buf := make([]byte, chunkSize)
-			n, rerr := io.ReadFull(r, buf)
-			if n > 0 {
-				nl := bytes.LastIndexByte(buf[:n], '\n')
-				if nl < 0 {
-					carry = append(carry, buf[:n]...)
-					if len(carry) > maxLineBytes {
-						readErr = bufio.ErrTooLong
-						return
+		for i := first; i < n && !aborted.Load(); i++ {
+			src, err := open(i)
+			if err != nil {
+				readErr = err
+				return
+			}
+			for {
+				data, end, skipped, nerr := src.NextChunk(chunkBytes)
+				if nerr != nil {
+					if nerr != io.EOF {
+						readErr = nerr
 					}
+					break
+				}
+				j := &sourceJob{data: data, pos: FilePos{File: i, Offset: end}, skipped: skipped, done: make(chan parsedChunk, 1)}
+				// Sending to order before work keeps the consumer's view
+				// strictly FIFO and makes the order buffer the admission gate.
+				order <- j
+				if len(data) > 0 {
+					work <- j
 				} else {
-					// The chunk's first line spans the carry; reject it at
-					// the same 1 MiB bound the sequential Scanner enforces.
-					if first := bytes.IndexByte(buf[:n], '\n'); len(carry)+first > maxLineBytes {
-						readErr = bufio.ErrTooLong
-						return
-					}
-					dispatch(append(carry, buf[:nl+1]...))
-					carry = append([]byte(nil), buf[nl+1:n]...)
+					j.done <- parsedChunk{} // skip-count-only progress job
+				}
+				if aborted.Load() {
+					break
 				}
 			}
-			if rerr != nil {
-				if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
-					if len(carry) > 0 {
-						dispatch(carry)
-					}
-				} else {
-					readErr = rerr
-				}
+			// The sentinel trails this source's jobs through the FIFO, so the
+			// consumer closes it only after the workers are done with it.
+			order <- &sourceJob{closer: src}
+			if readErr != nil {
 				return
 			}
 		}
 	}()
 
-	records := 0
+	var progErr, closeErr error
 	for j := range order {
+		if j.closer != nil {
+			if cerr := j.closer.Close(); cerr != nil && closeErr == nil {
+				closeErr = cerr
+			}
+			continue
+		}
 		res := <-j.done
+		if progErr != nil {
+			continue // draining after abort
+		}
 		for i := range res.recs {
 			emit(res.recs[i])
 		}
 		records += len(res.recs)
-		malformed += res.bad
+		malformed += res.bad + j.skipped
 		if progress != nil {
-			progress(j.end)
+			if perr := progress(j.pos); perr != nil {
+				progErr = perr
+				aborted.Store(true)
+			}
 		}
 	}
 	wg.Wait()
-	metricRecords.Add(int64(records))
-	metricMalformed.Add(int64(malformed))
 	// order is closed only after readErr is set, so this read is ordered.
-	if readErr != nil {
-		return malformed, fmt.Errorf("clf: read: %w", readErr)
+	switch {
+	case progErr != nil:
+		return malformed, progErr
+	case readErr != nil:
+		return malformed, readErr
+	case closeErr != nil:
+		return malformed, closeErr
 	}
 	return malformed, nil
 }

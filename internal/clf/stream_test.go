@@ -81,14 +81,22 @@ func TestStreamParallelPartialOnReadError(t *testing.T) {
 	}
 }
 
-// TestStreamParallelOversizedLine: a line above the 1 MiB cap fails the
-// streaming reader the same way it fails the Scanner.
+// TestStreamParallelOversizedLine: a line above the 1 MiB cap is skipped and
+// counted as malformed — not an abort — and both readers agree, so a hostile
+// line cannot stop ingestion of everything around it.
 func TestStreamParallelOversizedLine(t *testing.T) {
-	huge := strings.Repeat("a", maxLineBytes+2)
-	_, seqErr := Stream(strings.NewReader(huge), func(Record) {})
-	_, parErr := StreamParallel(strings.NewReader(huge), 4, 2, func(Record) {})
-	if seqErr == nil || parErr == nil {
-		t.Fatalf("oversized line: sequential err=%v, parallel err=%v (want both non-nil)", seqErr, parErr)
+	huge := sampleLine + "\n" + strings.Repeat("a", maxLineBytes+2) + "\n" + sampleLine + "\n"
+	var seqRecs, parRecs int
+	seqBad, seqErr := Stream(strings.NewReader(huge), func(Record) { seqRecs++ })
+	parBad, parErr := StreamParallel(strings.NewReader(huge), 4, 2, func(Record) { parRecs++ })
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("oversized line must not abort: sequential err=%v, parallel err=%v", seqErr, parErr)
+	}
+	if seqRecs != 2 || parRecs != 2 {
+		t.Fatalf("records around the oversized line: sequential %d, parallel %d, want 2", seqRecs, parRecs)
+	}
+	if seqBad != 1 || parBad != 1 {
+		t.Fatalf("oversized line must count as malformed once: sequential %d, parallel %d", seqBad, parBad)
 	}
 }
 

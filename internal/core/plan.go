@@ -31,6 +31,7 @@ type Sessionizer interface {
 	Expire(time.Time) []session.Session
 	Ingest(io.Reader, SessionSink) (int, error)
 	IngestOffsets(io.Reader, SessionSink, func(int64)) (int, error)
+	IngestFiles([]string, clf.FilePos, SessionSink, func(clf.FilePos) error) (int, error)
 	Snapshot() TailSnapshot
 	Restore(TailSnapshot) error
 	Stats() Stats

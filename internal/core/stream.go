@@ -41,6 +41,19 @@ func (t *Tail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset
 	return ingest(r, t.cfg, sink, t.Push, progress)
 }
 
+// IngestFiles streams an ordered multi-file log set — plain, gzip, or mixed,
+// as log rotation produces — into the Tail through the zero-copy source
+// layer: plain files are served as mmap windows (no line is copied between
+// read and parse), gzip members decode ahead of the parse pool, and the
+// emitted sessions are byte-identical to ingesting the decompressed
+// concatenation through Ingest. start resumes mid-set; progress (optional)
+// receives the line-aligned clf.FilePos each chunk completes at, and may
+// return a non-nil error to abort the stream — the checkpointing caller's
+// clean-stop lever.
+func (t *Tail) IngestFiles(paths []string, start clf.FilePos, sink SessionSink, progress func(clf.FilePos) error) (malformed int, err error) {
+	return ingestFiles(paths, start, t.cfg, sink, t.Push, progress)
+}
+
 // Ingest is Tail.Ingest on the sharded processor. Parsing fans out over
 // Config.Workers; Push itself is invoked from the single delivery
 // goroutine, so per-user arrival order — the determinism contract — is
@@ -55,12 +68,34 @@ func (st *ShardedTail) IngestOffsets(r io.Reader, sink SessionSink, progress fun
 	return ingest(r, st.cfg, sink, st.Push, progress)
 }
 
+// IngestFiles is Tail.IngestFiles on the sharded processor.
+func (st *ShardedTail) IngestFiles(paths []string, start clf.FilePos, sink SessionSink, progress func(clf.FilePos) error) (malformed int, err error) {
+	return ingestFiles(paths, start, st.cfg, sink, st.Push, progress)
+}
+
 // ingest wires clf.StreamParallelOffsets into a push function.
 func ingest(r io.Reader, cfg Config, sink SessionSink, push func(clf.Record) []session.Session, progress func(int64)) (int, error) {
 	if sink == nil {
 		sink = DiscardSessions
 	}
 	return clf.StreamParallelOffsetsChunked(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), cfg.StreamChunkBytes, func(rec clf.Record) {
+		if out := push(rec); len(out) > 0 {
+			sink(out)
+		}
+	}, progress)
+}
+
+// ingestFiles wires clf.StreamFiles into a push function.
+func ingestFiles(paths []string, start clf.FilePos, cfg Config, sink SessionSink, push func(clf.Record) []session.Session, progress func(clf.FilePos) error) (int, error) {
+	if sink == nil {
+		sink = DiscardSessions
+	}
+	return clf.StreamFiles(paths, clf.StreamConfig{
+		Workers:    cfg.effectiveWorkers(),
+		Depth:      cfg.effectiveStreamDepth(),
+		ChunkBytes: cfg.StreamChunkBytes,
+		Start:      start,
+	}, func(rec clf.Record) {
 		if out := push(rec); len(out) > 0 {
 			sink(out)
 		}

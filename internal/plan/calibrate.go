@@ -3,6 +3,7 @@ package plan
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -87,14 +88,29 @@ func Sample(f *os.File) []byte {
 	return buf[:n]
 }
 
-// SamplePath is Sample for a file that is not open yet.
+// SamplePath is Sample for a file that is not open yet, decoding gzip so
+// the probe times parsing actual log lines, not compressed garbage.
 func SamplePath(path string) []byte {
-	f, err := os.Open(path)
+	return SamplePaths([]string{path})
+}
+
+// SamplePaths reads the calibration sample from the first file of a
+// resolved input set, gzip-decoded when needed.
+func SamplePaths(paths []string) []byte {
+	if len(paths) == 0 {
+		return nil
+	}
+	rc, err := clf.OpenDecoded(paths[0])
 	if err != nil {
 		return nil
 	}
-	defer f.Close()
-	return Sample(f)
+	defer rc.Close()
+	buf := make([]byte, MaxProbeBytes)
+	n, _ := io.ReadFull(rc, buf)
+	if n <= 0 {
+		return nil
+	}
+	return buf[:n]
 }
 
 func bestOf(runs int, op func()) time.Duration {

@@ -23,6 +23,8 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+
+	"smartsra/internal/clf"
 )
 
 // Kind classifies the input the plan is for.
@@ -37,6 +39,10 @@ const (
 	// KindLive is live traffic pushed record by record from concurrent
 	// producers (the serve request path).
 	KindLive
+	// KindGzip is a gzip-compressed file (or set containing one): size on
+	// disk understates the bytes to parse, and the decode stage is
+	// sequential per member.
+	KindGzip
 )
 
 func (k Kind) String() string {
@@ -47,9 +53,17 @@ func (k Kind) String() string {
 		return "pipe"
 	case KindLive:
 		return "live"
+	case KindGzip:
+		return "gzip"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
+
+// GzipExpansion is the planner's estimate of how much larger a gzip log is
+// decoded than on disk. Access logs are highly repetitive text; 4x is
+// conservative (DEFLATE typically does better on CLF), and the estimate only
+// steers chunk sizing, never correctness.
+const GzipExpansion = 4
 
 // Input describes one workload for the planner.
 type Input struct {
@@ -65,6 +79,10 @@ type Input struct {
 	// pipes (the in-order delivery goroutine), 2x cores for live traffic
 	// (concurrent request handlers).
 	Feeders int
+	// Files is how many files make up the input (a rotated set); <= 1
+	// means a single stream. For KindGzip sets, more files mean more
+	// decode-ahead overlap.
+	Files int
 }
 
 func (in Input) cores() int {
@@ -102,6 +120,10 @@ type Plan struct {
 	// Sequential reports that the parse stage should take the sequential
 	// clf.Stream path: parallelism cannot win on this input.
 	Sequential bool
+	// Mmap reports that plain-file input will be served as memory-mapped
+	// zero-copy windows (informational: clf.StreamFiles selects the source
+	// per file; this records the expectation for logs and benchmarks).
+	Mmap bool
 	// Reason is the one-line human explanation logged at startup.
 	Reason string
 }
@@ -110,6 +132,9 @@ func (p Plan) String() string {
 	mode := "parallel"
 	if p.Sequential {
 		mode = "sequential"
+	}
+	if p.Mmap {
+		mode += "+mmap"
 	}
 	return fmt.Sprintf("%s: workers=%d shards=%d depth=%d chunk=%s — %s",
 		mode, p.Workers, p.Shards, p.StreamDepth, fmtBytes(int64(p.ChunkBytes)), p.Reason)
@@ -144,6 +169,17 @@ func Decide(in Input) Plan {
 		StreamDepth: minStreamDepth,
 		ChunkBytes:  DefaultChunkBytes,
 		Sequential:  true,
+		// Plain files stream as zero-copy mmap windows when the build
+		// supports it — a per-source decision that holds for sequential
+		// plans too (the direct loop slices windows without goroutines).
+		Mmap: in.Kind == KindFile && clf.MmapSupported,
+	}
+	// Gzip sizes on disk understate the parse work; plan against the
+	// estimated decoded size so a 2 MiB .gz (≈ 8 MiB of lines) still fans
+	// out. The estimate steers sizing only — never correctness.
+	size := in.SizeBytes
+	if in.Kind == KindGzip && size >= 0 {
+		size *= GzipExpansion
 	}
 	// Shards stripe feeder contention, which needs both real parallelism
 	// and more than one pusher; a single delivery goroutine gains nothing
@@ -165,8 +201,8 @@ func Decide(in Input) Plan {
 		p.Reason = fmt.Sprintf("live traffic on %d cores: per-record pushes, %d-way shard striping", cores, p.Shards)
 		return p
 	}
-	if in.SizeBytes >= 0 && in.SizeBytes < MinParallelBytes {
-		p.Reason = fmt.Sprintf("input %s < %s: fan-out start-up would dominate", fmtBytes(in.SizeBytes), fmtBytes(MinParallelBytes))
+	if size >= 0 && size < MinParallelBytes {
+		p.Reason = fmt.Sprintf("input %s < %s: fan-out start-up would dominate", fmtBytes(size), fmtBytes(MinParallelBytes))
 		return p
 	}
 
@@ -174,19 +210,19 @@ func Decide(in Input) Plan {
 	// them (never below MinChunkBytes) when the input is only a few MiB.
 	workers := cores
 	chunk := DefaultChunkBytes
-	if in.SizeBytes >= 0 {
-		if per := in.SizeBytes / int64(4*workers); per < int64(chunk) {
+	if size >= 0 {
+		if per := size / int64(4*workers); per < int64(chunk) {
 			chunk = int(per)
 			if chunk < MinChunkBytes {
 				chunk = MinChunkBytes
 			}
 		}
-		if n := chunkCount(in.SizeBytes, chunk); n < workers {
+		if n := chunkCount(size, chunk); n < workers {
 			workers = n
 		}
 	}
 	if workers <= 1 {
-		p.Reason = fmt.Sprintf("input %s fits one chunk: nothing to fan out", fmtBytes(in.SizeBytes))
+		p.Reason = fmt.Sprintf("input %s fits one chunk: nothing to fan out", fmtBytes(size))
 		return p
 	}
 	p.Workers = workers
@@ -194,10 +230,15 @@ func Decide(in Input) Plan {
 	p.StreamDepth = clampInt(2*workers, minStreamDepth, maxStreamDepth)
 	p.Sequential = false
 	switch {
-	case in.SizeBytes >= 0:
-		p.Reason = fmt.Sprintf("%d cores, %s in %s chunks", cores, fmtBytes(in.SizeBytes), fmtBytes(int64(chunk)))
+	case in.Kind == KindGzip:
+		p.Reason = fmt.Sprintf("%d cores, %s gzip (≈%s decoded) in %s chunks", cores, fmtBytes(in.SizeBytes), fmtBytes(size), fmtBytes(int64(chunk)))
+	case size >= 0:
+		p.Reason = fmt.Sprintf("%d cores, %s in %s chunks", cores, fmtBytes(size), fmtBytes(int64(chunk)))
 	default:
 		p.Reason = fmt.Sprintf("%d cores, unbounded %s input", cores, in.Kind)
+	}
+	if in.Files > 1 {
+		p.Reason += fmt.Sprintf(" across %d files", in.Files)
 	}
 	return p
 }
@@ -350,13 +391,36 @@ func Stat(f *os.File) Input {
 }
 
 // StatPath classifies a log file on disk (for replay planning before the
-// file is opened). Missing or irregular paths plan like pipes.
+// file is opened). Missing or irregular paths plan like pipes; gzip files
+// (sniffed by magic bytes) plan as KindGzip.
 func StatPath(path string) Input {
-	fi, err := os.Stat(path)
-	if err != nil || !fi.Mode().IsRegular() {
-		return Input{SizeBytes: -1, Kind: KindPipe}
+	return StatPaths([]string{path})
+}
+
+// StatPaths classifies a resolved multi-file input set: total on-disk size,
+// KindGzip when any member is compressed, and the file count for the plan's
+// decode-ahead reasoning. Any missing or irregular member degrades the whole
+// set to an unknown-size pipe plan (correct, just unsized).
+func StatPaths(paths []string) Input {
+	in := Input{SizeBytes: -1, Kind: KindPipe, Files: len(paths)}
+	if len(paths) == 0 {
+		return in
 	}
-	return Input{SizeBytes: fi.Size(), Kind: KindFile}
+	var total int64
+	kind := KindFile
+	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil || !fi.Mode().IsRegular() {
+			return in
+		}
+		total += fi.Size()
+		if clf.IsGzipFile(path) {
+			kind = KindGzip
+		}
+	}
+	in.SizeBytes = total
+	in.Kind = kind
+	return in
 }
 
 // chunkCount is how many chunks of size chunk cover size bytes.
