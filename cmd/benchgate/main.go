@@ -7,15 +7,27 @@
 //
 // Usage:
 //
-//	benchgate [-min 1.0] [-slack 0.05] bench_ingest_ci.json bench_stream_ci.json ...
+//	benchgate [-min 1.0] [-slack 0.05] [-baseline BENCH_stream.json] \
+//	    bench_ingest_ci.json bench_stream_ci.json ...
 //
 // On measurements produced by a single-core runner (gomaxprocs 1 in the
 // JSON) the sequential fallback makes every plan-vs-baseline speedup 1.0 by
 // identity, so a violation there can only be measurement noise; the gate
-// reports it as advisory instead of failing. The exception is mmap_speedup:
-// the mmap source does not depend on parallelism to win — it removes a copy
-// — so that gate holds on every core count. -slack absorbs run-to-run timer
-// noise without letting a genuinely losing plan through.
+// reports it as advisory instead of failing. Two exceptions hold on every
+// core count: mmap_speedup (the mmap source removes a copy — it does not
+// need parallelism to win) and ingest_batch_speedup (batching amortizes
+// locks and metrics flushes per batch — a claim that is strongest on one
+// core, where there is no parallelism to hide a regression behind). -slack
+// absorbs run-to-run timer noise without letting a genuinely losing plan
+// through.
+//
+// With -baseline, every *_recs_per_sec field present in both a checked file
+// and the committed baseline JSON must stay within -regress of the baseline
+// value: a fresh measurement that throughput-regresses past that fraction
+// fails the gate. The default -regress is generous because single-run
+// throughput on shared CI runners jitters by double-digit percentages; the
+// gate exists to catch structural regressions (a lost fast path), not to
+// litigate noise.
 //
 // The gate also sanity-checks every *_recs_per_sec field: a zero, negative,
 // or non-finite throughput means the bench itself is broken, and that fails
@@ -34,14 +46,24 @@ import (
 func main() {
 	min := flag.Float64("min", 1.0, "minimum acceptable value for every *_speedup field")
 	slack := flag.Float64("slack", 0.05, "measurement-noise tolerance subtracted from -min before failing")
+	baseline := flag.String("baseline", "", "committed bench JSON to gate *_recs_per_sec fields against")
+	regress := flag.Float64("regress", 0.30, "largest tolerated fractional throughput drop vs -baseline")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no bench JSON files given")
 		os.Exit(2)
 	}
+	var base map[string]any
+	if *baseline != "" {
+		var err error
+		if base, err = readFields(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+	}
 	failed := false
 	for _, path := range flag.Args() {
-		bad, err := check(path, *min, *slack)
+		bad, err := check(path, *min, *slack, base, *regress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
 			os.Exit(2)
@@ -49,20 +71,45 @@ func main() {
 		failed = failed || bad
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchgate: FAIL — the planner picked a losing plan; see above")
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — see above")
 		os.Exit(1)
 	}
 }
 
-// check reports whether path holds a gated speedup violation (advisory
-// findings are printed but do not fail).
-func check(path string, min, slack float64) (bool, error) {
+func readFields(path string) (map[string]any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	var fields map[string]any
 	if err := json.Unmarshal(data, &fields); err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// neverAdvisory lists the speedup gates that hold even on a 1-core runner,
+// where every parallelism claim degenerates to identity.
+func neverAdvisory(field string) bool {
+	switch field {
+	case "mmap_speedup":
+		// mmap vs the buffered reader is a copy-elimination claim, not a
+		// parallelism claim.
+		return true
+	case "ingest_batch_speedup":
+		// Batch vs per-record ingestion is a lock/metrics amortization
+		// claim; one core is exactly where a batching regression has
+		// nothing to hide behind.
+		return true
+	}
+	return false
+}
+
+// check reports whether path holds a gated violation (advisory findings are
+// printed but do not fail).
+func check(path string, min, slack float64, base map[string]any, regress float64) (bool, error) {
+	fields, err := readFields(path)
+	if err != nil {
 		return false, err
 	}
 	cores := 0
@@ -96,6 +143,19 @@ func check(path string, min, slack float64) (bool, error) {
 		if v <= 0 {
 			fmt.Printf("%s: %s = %v is not a positive throughput — the bench is broken\n", path, k, v)
 			bad = true
+			continue
+		}
+		want, ok := base[k].(float64)
+		if !ok || want <= 0 {
+			continue // field absent from the baseline (or no baseline given)
+		}
+		floor := want * (1 - regress)
+		if v >= floor {
+			fmt.Printf("%s: %s = %.0f ok vs baseline %.0f (floor %.0f)\n", path, k, v, want, floor)
+		} else {
+			fmt.Printf("%s: %s = %.0f REGRESSES past the baseline %.0f by more than %.0f%% (floor %.0f)\n",
+				path, k, v, want, regress*100, floor)
+			bad = true
 		}
 	}
 	for _, k := range speedups {
@@ -108,9 +168,7 @@ func check(path string, min, slack float64) (bool, error) {
 			fmt.Printf("%s: %s = %.2f ok (>= %.2f)\n", path, k, v, min)
 		case v >= min-slack:
 			fmt.Printf("%s: %s = %.2f within noise slack of %.2f (>= %.2f)\n", path, k, v, min, min-slack)
-		case advisory && k != "mmap_speedup":
-			// mmap vs the buffered reader is a copy-elimination claim, not
-			// a parallelism claim: it must hold even on one core.
+		case advisory && !neverAdvisory(k):
 			fmt.Printf("%s: %s = %.2f below %.2f on a 1-core runner — advisory only (sequential fallback is identity, this is noise)\n",
 				path, k, v, min)
 		default:

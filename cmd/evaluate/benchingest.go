@@ -130,7 +130,7 @@ func runBenchIngest(base eval.RunConfig, workers, shards plan.Knob, path string)
 	// Two plans: batch parse over the in-memory log, and the live
 	// concurrent-feeder shape the ShardedTail measurement models.
 	parseIn := plan.Input{SizeBytes: int64(len(data)), Kind: plan.KindFile}
-	parsePl, notes := plan.Resolve(parseIn, workers, plan.Auto, plan.Auto, data)
+	parsePl, notes := plan.Resolve(parseIn, workers, plan.Auto, plan.Auto, plan.Auto, data)
 	liveIn := plan.Input{SizeBytes: -1, Kind: plan.KindLive}
 	livePl := plan.Decide(liveIn)
 	if !shards.Auto {

@@ -70,13 +70,13 @@ import (
 
 // options collects the parsed command line.
 type options struct {
-	topoPath, logPath, heur string
-	noClean, statsOnly      bool
-	workers, shards, depth  plan.Knob
-	stream                  bool
-	expireEvery             time.Duration
-	sessPath, ckptPath      string
-	ckptEvery               time.Duration
+	topoPath, logPath, heur       string
+	noClean, statsOnly            bool
+	workers, shards, depth, batch plan.Knob
+	stream                        bool
+	expireEvery                   time.Duration
+	sessPath, ckptPath            string
+	ckptEvery                     time.Duration
 }
 
 func main() {
@@ -85,6 +85,7 @@ func main() {
 		workers     = flag.String("workers", "auto", "pipeline parallelism: auto (planned), 0 sequential, -1 all cores, n>0 that many workers (output is identical for any value)")
 		shards      = flag.String("shards", "auto", "streaming sessionizer shard count for -stream: auto (planned) or a number (0 = all cores)")
 		depth       = flag.String("stream-depth", "auto", "in-flight parsed chunks for -stream: auto (planned) or a number (memory/throughput trade, never changes output)")
+		batch       = flag.String("batch", "auto", "sessionizer delivery granularity: auto (planned: whole chunks for files, per-record for pipes), 1 per-record, 0 whole chunks, n>1 sub-batches of n (never changes output)")
 		expireEvery = flag.Duration("expire-every", 0, "finalize quiet users this often while streaming (0 = auto: 30s for pipes/stdin, off for files; <0 = off)")
 	)
 	flag.StringVar(&o.topoPath, "topology", "", "topology JSON written by simgen (required)")
@@ -105,7 +106,9 @@ func main() {
 	var err error
 	if o.workers, err = plan.ParseKnob("workers", *workers); err == nil {
 		if o.shards, err = plan.ParseKnob("shards", *shards); err == nil {
-			o.depth, err = plan.ParseKnob("stream-depth", *depth)
+			if o.depth, err = plan.ParseKnob("stream-depth", *depth); err == nil {
+				o.batch, err = plan.ParseKnob("batch", *batch)
+			}
 		}
 	}
 	if err != nil {
@@ -175,7 +178,7 @@ func run(o options) error {
 		shape = plan.StatPaths(paths)
 		sample = plan.SamplePaths(paths)
 	}
-	pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, sample)
+	pl, notes := plan.Resolve(shape, o.workers, o.shards, o.depth, o.batch, sample)
 	for _, n := range notes {
 		fmt.Fprintln(os.Stderr, "sessionize:", n)
 	}

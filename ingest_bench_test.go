@@ -92,6 +92,24 @@ func BenchmarkIngest(b *testing.B) {
 		}
 		b.ReportMetric(recs*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	})
+	b.Run("tail-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tl, err := core.NewTail(core.Config{Graph: g}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off < len(records); off += 8192 {
+				end := off + 8192
+				if end > len(records) {
+					end = len(records)
+				}
+				tl.PushBatch(records[off:end])
+			}
+			tl.Flush()
+		}
+		b.ReportMetric(recs*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
 	b.Run("sharded-tail", func(b *testing.B) {
 		// Partition records by user across feeders so each user's arrival
 		// order is preserved (the determinism contract's requirement).
@@ -128,4 +146,54 @@ func BenchmarkIngest(b *testing.B) {
 		}
 		b.ReportMetric(recs*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	})
+}
+
+// BenchmarkTailPush is the sessionizer hot path record-at-a-time: the
+// baseline the batched path is gated against (batch >= single, enforced by
+// cmd/benchgate on ingest_batch_speedup).
+func BenchmarkTailPush(b *testing.B) {
+	g, records, _ := ingestWorkload(b)
+	recs := float64(len(records))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl, err := core.NewTail(core.Config{Graph: g}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range records {
+			tl.Push(rec)
+		}
+		tl.Flush()
+	}
+	b.ReportMetric(recs*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkTailPushBatch is the same workload through the batched hot path:
+// one metrics flush per 8192-record batch on a Tail, and one lock
+// acquisition per touched shard per batch on a ShardedTail.
+func BenchmarkTailPushBatch(b *testing.B) {
+	g, records, _ := ingestWorkload(b)
+	recs := float64(len(records))
+	const batch = 8192
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := core.NewShardedTail(core.Config{Graph: g}, 0, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for off := 0; off < len(records); off += batch {
+					end := off + batch
+					if end > len(records) {
+						end = len(records)
+					}
+					st.PushBatch(records[off:end])
+				}
+				st.Flush()
+			}
+			b.ReportMetric(recs*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }

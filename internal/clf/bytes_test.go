@@ -59,30 +59,30 @@ func TestParseAnyRecordBytesMatchesString(t *testing.T) {
 		sampleLine + ` "-" "-"`,
 		`192.168.1.1 - alice [02/Jan/2006:15:04:05 -0500] "POST /login HTTP/1.0" 302 -`,
 		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`,
-		`x - - [29/Feb/2004:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,  // leap day
-		`x - - [29/Feb/2005:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,  // invalid leap day
-		`x - - [31/Apr/2006:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,  // day out of range
-		`x - - [00/Jan/2006:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,  // day zero
-		`x - - [02/jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`,  // lowercase month (slow path)
-		`x - - [02/JAN/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`,  // uppercase month (slow path)
-		`x - - [02/Jan/2006:24:00:00 +0000] "GET / HTTP/1.1" 200 0`,  // hour out of range
-		`x - - [02/Jan/2006:15:04:05 +0530] "GET / HTTP/1.1" 200 0`,  // non-local offset
-		`x - - [02/Jan/2006:15:04:05 -0930] "GET / HTTP/1.1" 200 0`,  // negative half-hour offset
-		`x - - [02/Jan/2006:15:04:05 +9959] "GET / HTTP/1.1" 200 0`,  // absurd offset (slow path)
-		`x - - [02/Jan/2006:15:04:05+0000] "GET / HTTP/1.1" 200 0`,   // missing space in date
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET  HTTP/1.1" 200 0`,   // two request fields
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / X HTTP/1.1" 200 0`, // four request fields
-		`x - - [02/Jan/2006:15:04:05 +0000] " / HTTP/1.1" 200 0`,     // empty method
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET  /x" 200 0`,         // empty middle field
+		`x - - [29/Feb/2004:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,        // leap day
+		`x - - [29/Feb/2005:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,        // invalid leap day
+		`x - - [31/Apr/2006:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,        // day out of range
+		`x - - [00/Jan/2006:00:00:00 +0000] "GET / HTTP/1.1" 200 0`,        // day zero
+		`x - - [02/jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`,        // lowercase month (slow path)
+		`x - - [02/JAN/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 0`,        // uppercase month (slow path)
+		`x - - [02/Jan/2006:24:00:00 +0000] "GET / HTTP/1.1" 200 0`,        // hour out of range
+		`x - - [02/Jan/2006:15:04:05 +0530] "GET / HTTP/1.1" 200 0`,        // non-local offset
+		`x - - [02/Jan/2006:15:04:05 -0930] "GET / HTTP/1.1" 200 0`,        // negative half-hour offset
+		`x - - [02/Jan/2006:15:04:05 +9959] "GET / HTTP/1.1" 200 0`,        // absurd offset (slow path)
+		`x - - [02/Jan/2006:15:04:05+0000] "GET / HTTP/1.1" 200 0`,         // missing space in date
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET  HTTP/1.1" 200 0`,         // two request fields
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / X HTTP/1.1" 200 0`,      // four request fields
+		`x - - [02/Jan/2006:15:04:05 +0000] " / HTTP/1.1" 200 0`,           // empty method
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET  /x" 200 0`,               // empty middle field
 		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1"  200   512  `, // extra spaces
 		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1"200 512`,       // no space after quote
 		"x - - [02/Jan/2006:15:04:05 +0000] \"GET / HTTP/1.1\" 200\t512",   // tab separator (slow path)
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 099 512`,  // status below range
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 0200 512`, // padded status
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 600 512`,  // status above range
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 2-0`,  // dash inside bytes
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 512 9`, // three tail fields
-		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200`,       // one tail field
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 099 512`,      // status below range
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 0200 512`,     // padded status
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 600 512`,      // status above range
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 2-0`,      // dash inside bytes
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200 512 9`,    // three tail fields
+		`x - - [02/Jan/2006:15:04:05 +0000] "GET / HTTP/1.1" 200`,          // one tail field
 		`x - - [bad date] "GET / HTTP/1.1" 200 1`,
 		`x - - 02/Jan/2006 "GET / HTTP/1.1" 200 1`,
 		`x - -`,

@@ -35,8 +35,54 @@ var defaultResourceSuffixes = []string{
 // styles, media, archives) using the conventional suffix list. Query strings
 // and fragments are stripped before matching.
 func DropResources(r Record) bool {
-	return !hasAnySuffix(pathOnly(r.URI), defaultResourceSuffixes)
+	return !isResourcePath(r.URI)
 }
+
+// isResourcePath reports whether the URI's path ends in one of
+// defaultResourceSuffixes. It runs on every ingested record, so instead of
+// lowering the path and probing each suffix it extracts the extension of the
+// final path segment (bounded at longestResourceSuffix bytes), ASCII-lowers
+// it into a stack buffer, and matches with one switch. Paths without a dot in
+// the last segment — the overwhelmingly common page-view case — exit after a
+// single backward scan.
+func isResourcePath(uri string) bool {
+	path := stripQuery(uri)
+	dot := -1
+	for i := len(path) - 1; i >= 0; i-- {
+		switch path[i] {
+		case '.':
+			dot = i
+		case '/':
+		default:
+			continue
+		}
+		break
+	}
+	if dot < 0 || len(path)-dot > longestResourceSuffix {
+		return false
+	}
+	var ext [longestResourceSuffix]byte
+	n := 0
+	for i := dot; i < len(path); i++ {
+		c := path[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		ext[n] = c
+		n++
+	}
+	switch string(ext[:n]) {
+	case ".gif", ".jpg", ".jpeg", ".png", ".ico", ".bmp", ".svg",
+		".css", ".js", ".swf", ".woff", ".woff2", ".ttf",
+		".mp3", ".mp4", ".avi", ".mpeg", ".pdf", ".zip", ".gz":
+		return true
+	}
+	return false
+}
+
+// longestResourceSuffix bounds the extension buffer in isResourcePath; it
+// must cover the longest entry in defaultResourceSuffixes (".woff2").
+const longestResourceSuffix = 6
 
 // DropSuffixes returns a filter that drops any URI whose path ends with one
 // of the given suffixes (case-insensitive).
@@ -53,7 +99,8 @@ func DropSuffixes(suffixes ...string) Filter {
 // DropRobots drops requests for /robots.txt (a crawler signature; CLF lacks
 // a user-agent field, so the path is the only available signal).
 func DropRobots(r Record) bool {
-	return pathOnly(r.URI) != "/robots.txt"
+	path := stripQuery(r.URI)
+	return len(path) != len("/robots.txt") || !strings.EqualFold(path, "/robots.txt")
 }
 
 // DropUserAgentContaining returns a filter dropping records whose combined-
@@ -125,11 +172,21 @@ func Apply(records []Record, f Filter) (kept []Record, dropped int) {
 	return kept, dropped
 }
 
-func pathOnly(uri string) string {
-	if i := strings.IndexAny(uri, "?#"); i >= 0 {
+// stripQuery drops the query string and fragment, leaving the path. Two
+// IndexByte probes beat one IndexAny: IndexByte is vectorized, and most URIs
+// contain neither delimiter.
+func stripQuery(uri string) string {
+	if i := strings.IndexByte(uri, '?'); i >= 0 {
 		uri = uri[:i]
 	}
-	return strings.ToLower(uri)
+	if i := strings.IndexByte(uri, '#'); i >= 0 {
+		uri = uri[:i]
+	}
+	return uri
+}
+
+func pathOnly(uri string) string {
+	return strings.ToLower(stripQuery(uri))
 }
 
 func hasAnySuffix(path string, suffixes []string) bool {

@@ -6,14 +6,26 @@ package clf
 // conversion allocation-free for every repeat, cutting the last per-record
 // allocations (Host and URI) of the byte fast path to amortized ~0.
 //
-// The table is scoped to one parse chunk (~1 MiB of input), so its memory is
-// bounded by the chunk's distinct strings and dies with the batch — an
-// unbounded log never grows an unbounded table, which is the property the
-// bounded-memory streaming contract needs. No locking: each chunk is parsed
-// by exactly one worker.
+// Table lifetime is the owner's choice, with boundedness always preserved:
+// the sequential Scanner scopes its table to ~readChunkSize bytes of input,
+// while the chunk engine keeps one table per parse loop (per worker) and
+// retires it once it holds maxInternEntries strings. Persisting across
+// chunks matters beyond allocation count: a host seen in every chunk stays
+// the SAME string, so downstream map lookups keyed by it (the sessionizer's
+// per-user buffers) hit the pointer-equality fast path instead of comparing
+// bytes. No locking: a table is only ever used by one goroutine.
 type internTable struct {
 	m map[string]string
 }
+
+// maxInternEntries caps a persistent table's size: past this many distinct
+// strings the owner discards the table and starts fresh, so a log with
+// unbounded distinct hosts/URIs cannot grow an unbounded table (the
+// bounded-memory streaming contract).
+const maxInternEntries = 1 << 16
+
+// full reports that the table has reached its retirement size.
+func (it *internTable) full() bool { return len(it.m) >= maxInternEntries }
 
 // newInternTable returns an empty per-batch table.
 func newInternTable() *internTable {

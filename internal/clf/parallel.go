@@ -40,29 +40,24 @@ func ReadAllParallel(r io.Reader, workers int) (records []Record, malformed int,
 	return records, malformed, err
 }
 
-// parseChunk parses every line of one chunk (the final line may lack a
-// trailing newline), skipping blank lines and counting malformed ones,
-// mirroring the Scanner's accounting — including the over-long-line policy:
-// a line past the 1 MiB cap (possible when a Source serves windows larger
-// than the cap, e.g. an mmap window grown around a huge line) is counted and
-// skipped, exactly as the sequential lineScanner does. Each chunk gets its
-// own string-intern arena, so repeated hosts/URIs/referers/agents within the
-// batch are copied once instead of once per record.
-func parseChunk(data []byte) (recs []Record, bad int) {
-	// Records are pointer-heavy (five strings each), so an append-grown
-	// slice pays repeated copy + write-barrier bills; size it once from the
-	// shortest plausible line so growth is the exception.
-	recs = make([]Record, 0, len(data)/48+1)
-	_, bad = parseChunkEmit(data, func(rec Record) { recs = append(recs, rec) })
-	return recs, bad
+// parseChunkInto parses every line of one chunk (the final line may lack a
+// trailing newline) into the caller-provided slice, skipping blank lines and
+// counting malformed ones, mirroring the Scanner's accounting — including
+// the over-long-line policy: a line past the 1 MiB cap (possible when a
+// Source serves windows larger than the cap, e.g. an mmap window grown
+// around a huge line) is counted and skipped, exactly as the sequential
+// lineScanner does. The chunk gets a fresh string-intern arena; loops that
+// parse many chunks should hold a persistent table and call parseChunkIntern
+// so repeated hosts/URIs stay the same string across the whole input.
+func parseChunkInto(data []byte, recs []Record) ([]Record, int) {
+	return parseChunkIntern(data, recs, newInternTable())
 }
 
-// parseChunkEmit is parseChunk without the slice: it hands each record to
-// emit as it is parsed. The sequential source loop uses it directly —
-// accumulating a chunk's worth of Records just to iterate them costs more
-// in allocation and GC barrier traffic than the parse itself.
-func parseChunkEmit(data []byte, emit func(Record)) (n, bad int) {
-	in := newInternTable()
+// parseChunkIntern is parseChunkInto with a caller-owned intern table. The
+// caller retires the table via full() — parsing never grows it past the next
+// chunk's distinct strings.
+func parseChunkIntern(data []byte, recs []Record, in *internTable) ([]Record, int) {
+	bad := 0
 	for len(data) > 0 {
 		var line []byte
 		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
@@ -82,8 +77,7 @@ func parseChunkEmit(data []byte, emit func(Record)) (n, bad int) {
 			bad++
 			continue
 		}
-		emit(rec)
-		n++
+		recs = append(recs, rec)
 	}
-	return n, bad
+	return recs, bad
 }

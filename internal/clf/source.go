@@ -72,13 +72,24 @@ type readerSource struct {
 	kind    SourceKind
 	closers []io.Closer
 
-	buf      []byte
-	carry    []byte // unterminated tail of the previous block (own backing)
-	pos      int64  // absolute offset of the first byte of carry
-	skipping bool   // inside an over-long line; carry is empty
-	pending  int    // skipped lines not yet reported
-	rerr     error  // sticky terminal result
+	buf         []byte
+	carry       []byte // unterminated tail of the previous block (own backing)
+	joined      []byte // serial mode's small carry-stitching buffer
+	pendingData []byte // serial mode: rest of the block after a stitched chunk
+	pos         int64  // absolute offset of the first byte of carry
+	serial      bool   // caller consumes each chunk before the next NextChunk
+	skipping    bool   // inside an over-long line; carry is empty
+	pending     int    // skipped lines not yet reported
+	rerr        error  // sticky terminal result
 }
+
+// markSerial declares that the caller fully consumes every returned chunk
+// before calling NextChunk again (the workers == 1 direct parse loop). Serial
+// chunks alias the read buffer itself — zero-copy, like the mmap source —
+// with only a carried partial line stitched through a small side buffer.
+// Must not be set when chunks stay in flight concurrently (the worker-pool
+// path, asyncSource prefetch).
+func (s *readerSource) markSerial() { s.serial = true }
 
 func newReaderSource(r io.Reader, kind SourceKind, pos int64, closers ...io.Closer) *readerSource {
 	return &readerSource{r: r, kind: kind, pos: pos, closers: closers}
@@ -98,6 +109,16 @@ func (s *readerSource) Close() error {
 }
 
 func (s *readerSource) NextChunk(chunkBytes int) ([]byte, int64, int, error) {
+	if out := s.pendingData; len(out) > 0 {
+		// Serial mode: the remainder of the last read block, delayed so the
+		// carry-stitched front could ship first. Delivered before any error
+		// report — pre-split it was part of the same returned chunk.
+		s.pendingData = nil
+		s.pos += int64(len(out))
+		end, skipped := s.pos, s.pending
+		s.pending = 0
+		return out, end, skipped, nil
+	}
 	if chunkBytes <= 0 {
 		chunkBytes = readChunkSize
 	}
@@ -182,6 +203,27 @@ func (s *readerSource) consume(b []byte) []byte {
 			s.carry = append(s.carry, b...)
 		}
 		return nil
+	}
+	if s.serial {
+		// Zero-copy serial delivery: the chunk aliases s.buf, which is not
+		// refilled until the caller asks for the next chunk. A carried
+		// partial line is stitched to the block's first line in the small
+		// joined buffer, and the rest of the block is held back one call
+		// (pendingData) so both halves ship without copying the block.
+		var out []byte
+		if len(s.carry) == 0 {
+			out = b[:nl+1]
+		} else {
+			first := bytes.IndexByte(b, '\n') // exists: nl >= 0
+			s.joined = append(append(s.joined[:0], s.carry...), b[:first+1]...)
+			out = s.joined
+			if first < nl {
+				s.pendingData = b[first+1 : nl+1]
+			}
+		}
+		s.carry = append(s.carry[:0], b[nl+1:]...)
+		s.pos += int64(len(out))
+		return out
 	}
 	// Fresh backing for both chunk and carry: the returned chunk is handed
 	// to workers, and both s.buf and s.carry are reused.

@@ -85,6 +85,32 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 	if workers == 1 && progress == nil {
 		return Stream(r, emit)
 	}
+	return streamChunked(r, workers, depth, chunkSize, perRecord(emit), progress)
+}
+
+// StreamChunked is StreamParallelOffsetsChunked delivering each line-aligned
+// chunk's records as one slice instead of one callback per record — the feed
+// for batch consumers (core's PushBatch ingestion), which pay their
+// per-delivery costs once per chunk. The slice is only valid during the
+// call; emitChunk must not retain it (the sequential path reuses one scratch
+// slice for every chunk). Record order, malformed accounting, and progress
+// boundaries are identical to the per-record entry points. Note the latency
+// trade: unlike StreamParallel, workers == 1 does not degrade to the
+// line-at-a-time scanner, so a pipe's records are delivered only when a
+// chunk fills or the input ends — callers tailing an interactive pipe should
+// use the per-record API (or batch == 1 at the core layer).
+func StreamChunked(r io.Reader, workers, depth, chunkBytes int, emitChunk func([]Record), progress func(offset int64)) (malformed int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = readChunkSize
+	}
+	return streamChunked(r, workers, depth, chunkBytes, emitChunk, progress)
+}
+
+// streamChunked wires a single borrowed reader into the source engine.
+func streamChunked(r io.Reader, workers, depth, chunkSize int, emitChunk func([]Record), progress func(int64)) (malformed int, err error) {
 	var fileProgress func(FilePos) error
 	if progress != nil {
 		fileProgress = func(pos FilePos) error {
@@ -94,7 +120,16 @@ func streamParallel(r io.Reader, workers, depth, chunkSize int, emit func(Record
 	}
 	src := newReaderSource(r, SourceReader, 0) // no closers: r is borrowed
 	open := func(int) (Source, error) { return src, nil }
-	return streamSources(1, 0, open, workers, depth, chunkSize, emit, fileProgress)
+	return streamSources(1, 0, open, workers, depth, chunkSize, emitChunk, fileProgress)
+}
+
+// perRecord adapts a per-record callback onto the chunk-delivery engine.
+func perRecord(emit func(Record)) func([]Record) {
+	return func(recs []Record) {
+		for i := range recs {
+			emit(recs[i])
+		}
+	}
 }
 
 // StreamConfig tunes StreamFiles. Zero values mean: GOMAXPROCS workers,
@@ -134,6 +169,13 @@ type StreamConfig struct {
 // returned, which checkpointing consumers use to stop cleanly mid-set.
 // Over-long lines (> 1 MiB) are skipped and counted as malformed.
 func StreamFiles(paths []string, cfg StreamConfig, emit func(Record), progress func(FilePos) error) (malformed int, err error) {
+	return StreamFilesChunked(paths, cfg, perRecord(emit), progress)
+}
+
+// StreamFilesChunked is StreamFiles with chunk-batch delivery: each
+// line-aligned chunk's records arrive as one slice, valid only during the
+// call (see StreamChunked for the contract and the pipe-latency trade).
+func StreamFilesChunked(paths []string, cfg StreamConfig, emitChunk func([]Record), progress func(FilePos) error) (malformed int, err error) {
 	first := cfg.Start.File
 	if first < 0 {
 		first = 0
@@ -194,7 +236,7 @@ func StreamFiles(paths []string, cfg StreamConfig, emit func(Record), progress f
 		}
 		return s, nil
 	}
-	return streamSources(len(paths), first, open, workers, cfg.Depth, chunkBytes, emit, progress)
+	return streamSources(len(paths), first, open, workers, cfg.Depth, chunkBytes, emitChunk, progress)
 }
 
 // parsedChunk is one chunk's parse result.
@@ -218,7 +260,8 @@ type sourceJob struct {
 }
 
 // streamSources runs the parse pipeline over n ordered sources, opened
-// lazily by open, starting at index first.
+// lazily by open, starting at index first, delivering each chunk's records
+// as one slice (per-record callers wrap with perRecord).
 //
 // Shape: one producer goroutine pulls line-aligned chunks from each source
 // in turn and sends each job to both the workers (via work) and the consumer
@@ -226,7 +269,7 @@ type sourceJob struct {
 // goroutine drains order in FIFO — input order — waiting on each job's own
 // done channel, so delivery order never depends on worker scheduling.
 // workers == 1 skips the goroutines entirely and parses inline.
-func streamSources(n, first int, open func(int) (Source, error), workers, depth, chunkBytes int, emit func(Record), progress func(FilePos) error) (malformed int, err error) {
+func streamSources(n, first int, open func(int) (Source, error), workers, depth, chunkBytes int, emitChunk func([]Record), progress func(FilePos) error) (malformed int, err error) {
 	records := 0
 	defer func() {
 		metricRecords.Add(int64(records))
@@ -234,14 +277,26 @@ func streamSources(n, first int, open func(int) (Source, error), workers, depth,
 	}()
 
 	if workers == 1 {
-		// Direct sequential loop: source → parseChunkEmit → emit, no
+		// Direct sequential loop: source → parseChunkInto → emitChunk, no
 		// pipeline. This is the mmap fast path on one core — no goroutine
-		// handoffs, no chunk copies, no per-chunk record slice, just window
-		// slicing and the byte-level parser.
+		// handoffs, no chunk copies, one scratch record slice reused for
+		// every chunk, just window slicing and the byte-level parser.
+		// One scratch record slice serves every chunk; sizing it for a full
+		// chunk of minimal lines up front replaces the per-stream append
+		// growth ladder (records are ~170 B, so the ladder's copies and
+		// garbage dwarf one right-sized allocation).
+		scratch := make([]Record, 0, chunkBytes/48+1)
+		in := newInternTable()
 		for i := first; i < n; i++ {
 			src, err := open(i)
 			if err != nil {
 				return malformed, err
+			}
+			if rs, ok := src.(interface{ markSerial() }); ok {
+				// This loop consumes each chunk before pulling the next, so
+				// reader-backed sources can hand out their read buffer
+				// directly (zero-copy, like the mmap windows).
+				rs.markSerial()
 			}
 			for {
 				data, end, skipped, nerr := src.NextChunk(chunkBytes)
@@ -256,9 +311,16 @@ func streamSources(n, first int, open func(int) (Source, error), workers, depth,
 					break
 				}
 				malformed += skipped
-				nrec, bad := parseChunkEmit(data, emit)
-				records += nrec
+				var bad int
+				if in.full() {
+					in = newInternTable()
+				}
+				scratch, bad = parseChunkIntern(data, scratch[:0], in)
+				records += len(scratch)
 				malformed += bad
+				if len(scratch) > 0 {
+					emitChunk(scratch)
+				}
 				if progress != nil {
 					if perr := progress(FilePos{File: i, Offset: end}); perr != nil {
 						src.Close()
@@ -280,8 +342,17 @@ func streamSources(n, first int, open func(int) (Source, error), workers, depth,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker persistent intern: strings repeat across this
+			// worker's chunks, and the table is retired at maxInternEntries.
+			in := newInternTable()
 			for j := range work {
-				recs, bad := parseChunk(j.data)
+				if in.full() {
+					in = newInternTable()
+				}
+				// Records are pointer-heavy (five strings each), so an
+				// append-grown slice pays repeated copy + write-barrier
+				// bills; size it once from the shortest plausible line.
+				recs, bad := parseChunkIntern(j.data, make([]Record, 0, len(j.data)/48+1), in)
 				j.done <- parsedChunk{recs: recs, bad: bad}
 			}
 		}()
@@ -343,8 +414,8 @@ func streamSources(n, first int, open func(int) (Source, error), workers, depth,
 		if progErr != nil {
 			continue // draining after abort
 		}
-		for i := range res.recs {
-			emit(res.recs[i])
+		if len(res.recs) > 0 {
+			emitChunk(res.recs)
 		}
 		records += len(res.recs)
 		malformed += res.bad + j.skipped

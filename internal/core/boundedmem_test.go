@@ -167,10 +167,17 @@ func TestStreamParallelBoundedMemory(t *testing.T) {
 			"streaming ingestion is no longer bounded", long>>20, highLong>>20, uint64(budget)>>20)
 	}
 	// A 4× longer log must not move the high-water materially: that is the
-	// length-independence claim itself. Skipped under -race, where the
+	// length-independence claim itself. The slack is relative (up to 2× the
+	// short run, floored at 32 MiB) because the GC's high-water jitters with
+	// pacing — a true O(length) regression shows up as ~4× growth and blows
+	// the absolute budget above anyway. Skipped under -race, where the
 	// scaled-down short run ends before the heap reaches its steady-state
 	// plateau and the comparison would measure ramp-up, not growth.
-	if slack := uint64(32 << 20); !raceEnabled && highLong > highShort+slack {
+	slack := highShort
+	if slack < 32<<20 {
+		slack = 32 << 20
+	}
+	if !raceEnabled && highLong > highShort+slack {
 		t.Errorf("heap high-water grew with log length: %d MiB (short) -> %d MiB (long)",
 			highShort>>20, highLong>>20)
 	}

@@ -77,6 +77,15 @@ type Config struct {
 	// checkpoints. <= 0 means the clf default (~1 MiB). Like StreamDepth it
 	// never changes the output.
 	StreamChunkBytes int
+	// BatchRecords selects how ingestion hands parsed records to the
+	// sessionizer: 1 feeds Push record-at-a-time (the low-latency choice for
+	// interactive pipes, where the batch path would wait for a full chunk
+	// before emitting anything); <= 0 hands each parsed chunk to PushBatch
+	// whole (the throughput choice — one lock acquisition and one metrics
+	// flush per chunk); > 1 splits chunks into sub-batches of at most that
+	// many records, trading a little locking for finer sink latency. The
+	// knob never changes the emitted sessions, only when they surface.
+	BatchRecords int
 }
 
 // effectiveWorkers resolves the Workers knob: 0 → 1 (sequential zero

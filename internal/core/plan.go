@@ -17,6 +17,7 @@ func (c Config) WithPlan(p plan.Plan) Config {
 	c.Workers = p.Workers
 	c.StreamDepth = p.StreamDepth
 	c.StreamChunkBytes = p.ChunkBytes
+	c.BatchRecords = p.Batch
 	return c
 }
 
@@ -27,6 +28,7 @@ func (c Config) WithPlan(p plan.Plan) Config {
 // type.
 type Sessionizer interface {
 	Push(clf.Record) []session.Session
+	PushBatch([]clf.Record) []session.Session
 	Flush() []session.Session
 	Expire(time.Time) []session.Session
 	Ingest(io.Reader, SessionSink) (int, error)

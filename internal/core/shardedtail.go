@@ -65,7 +65,9 @@ func (st *ShardedTail) Shards() int { return len(st.shards) }
 
 // Push feeds one record, returning any sessions finalized by its arrival.
 // It is safe for concurrent use; sessions of one user are always returned
-// to exactly one caller (the one whose record closed the burst).
+// to exactly one caller (the one whose record closed the burst). Bulk
+// feeders should prefer PushBatch, which pays the lock and metrics costs
+// once per batch.
 func (st *ShardedTail) Push(rec clf.Record) []session.Session {
 	st.records.Add(1)
 	metricTailRecords.Inc()
@@ -81,21 +83,22 @@ func (st *ShardedTail) Push(rec clf.Record) []session.Session {
 	user := st.cfg.Key(rec)
 	sh := st.shards[shardOf(user, len(st.shards))]
 	sh.mu.Lock()
-	out := sh.tail.pushResolved(user, page, rec.Time)
+	out := sh.tail.pushResolved(nil, user, page, rec.Time)
+	sh.tail.syncMetrics()
 	sh.mu.Unlock()
 	return out
 }
 
 // Buffered returns the number of entries currently held in open bursts
-// across all shards.
+// across all shards. It reads each shard's atomic mirror instead of taking
+// its lock, so an observability scrape (/debug/metrics) never contends with
+// ingestion; the sum is exact whenever no push is mid-flight.
 func (st *ShardedTail) Buffered() int {
-	n := 0
+	var n int64
 	for _, sh := range st.shards {
-		sh.mu.Lock()
-		n += sh.tail.Buffered()
-		sh.mu.Unlock()
+		n += sh.tail.bufferedGauge.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Expire finalizes every user whose last request is more than ρ before now,

@@ -295,7 +295,17 @@ func TestShardedTailConcurrentExpireInterleaving(t *testing.T) {
 			t.Fatalf("session multiset differs at %q (%+d)", k, c)
 		}
 	}
-	if rs, ss := ref.Stats(), st.Stats(); rs != ss {
+	// Users counts activations, so the sharded run may exceed the
+	// Expire-free reference: each Expire(mid) evicts quiet phase-one users,
+	// and any whose phase-two record lands after the eviction re-activate.
+	// How many depends on the Push/Expire interleaving; every other counter
+	// is exact.
+	rs, ss := ref.Stats(), st.Stats()
+	if ss.Users < rs.Users {
+		t.Fatalf("sharded users %d < reference %d", ss.Users, rs.Users)
+	}
+	rs.Users, ss.Users = 0, 0
+	if rs != ss {
 		t.Fatalf("stats differ: tail %+v, sharded %+v", rs, ss)
 	}
 	if st.Buffered() != 0 {

@@ -9,10 +9,16 @@ import (
 )
 
 // TailSnapshot is a point-in-time copy of a streaming sessionizer's
-// recoverable state: the accumulated stage counters and every user the
-// processor has seen, with whatever entries are still buffered in their open
-// burst. It is the unit internal/checkpoint persists and what Restore
-// rebuilds after a crash.
+// recoverable state: the accumulated stage counters and every user with an
+// OPEN burst, with the entries buffered in it. It is the unit
+// internal/checkpoint persists and what Restore rebuilds after a crash.
+//
+// Users whose bursts already closed are not serialized: eviction removes
+// them from the live processor, so carrying them in checkpoints would grow
+// the snapshot with users-ever-seen — exactly the unbounded state the
+// expiry wheel removes. Stats.Users stays cumulative across the snapshot
+// (see Tail's Users semantics); the expiry wheel itself needs no serialized
+// form, because Restore rebuilds it from each user's Last timestamp.
 //
 // The format is deliberately shard-free: ShardedTail.Snapshot merges its
 // shards into one user-sorted list and ShardedTail.Restore re-hashes users
@@ -21,9 +27,9 @@ import (
 type TailSnapshot struct {
 	// Stats are the counters accumulated up to the snapshot.
 	Stats Stats
-	// Users holds one state per user ever seen, sorted by user key. Users
-	// whose last burst already closed appear with no entries — they must be
-	// kept so a returning user is not recounted after recovery.
+	// Users holds one state per user with an open burst, sorted by user key.
+	// (Snapshots written before eviction existed may also carry entry-less
+	// users; Restore skips those.)
 	Users []UserState
 }
 
@@ -34,7 +40,7 @@ type UserState struct {
 	// Last is the timestamp of the user's most recent request.
 	Last time.Time
 	// Entries are the requests buffered in the user's open burst, in arrival
-	// order (empty when the last burst closed).
+	// order.
 	Entries []session.Entry
 }
 
@@ -47,6 +53,9 @@ func (t *Tail) Snapshot() TailSnapshot {
 		Users: make([]UserState, 0, len(t.buffers)),
 	}
 	for user, b := range t.buffers {
+		if len(b.entries) == 0 {
+			continue
+		}
 		snap.Users = append(snap.Users, UserState{
 			User:    user,
 			Last:    b.last,
@@ -58,7 +67,8 @@ func (t *Tail) Snapshot() TailSnapshot {
 }
 
 // Restore replaces the Tail's state with the snapshot's, discarding anything
-// currently buffered. It validates the snapshot (no duplicate users, stats
+// currently buffered, and rebuilds the expiry wheel from the restored users'
+// last-activity times. It validates the snapshot (no duplicate users, stats
 // consistent with the user list) so a logically corrupt snapshot is rejected
 // instead of silently poisoning recovery.
 func (t *Tail) Restore(snap TailSnapshot) error {
@@ -66,18 +76,28 @@ func (t *Tail) Restore(snap TailSnapshot) error {
 		return err
 	}
 	buffers := make(map[string]*burst, len(snap.Users))
+	wheel := make(map[int64][]string)
 	buffered := 0
 	for _, u := range snap.Users {
+		if len(u.Entries) == 0 {
+			continue // entry-less user from a pre-eviction snapshot
+		}
 		buffers[u.User] = &burst{
-			entries: append([]session.Entry(nil), u.Entries...),
-			last:    u.Last,
+			entries:  append([]session.Entry(nil), u.Entries...),
+			last:     u.Last,
+			lastNano: u.Last.UnixNano(),
+			unsorted: !entriesSorted(u.Entries),
 		}
 		buffered += len(u.Entries)
 	}
-	metricTailBuffered.Add(int64(buffered - t.buffered))
 	t.buffers = buffers
 	t.buffered = buffered
 	t.stats = snap.Stats
+	t.wheel = wheel
+	for user, b := range buffers {
+		t.wheelAdd(user, b.last)
+	}
+	t.syncMetrics()
 	return nil
 }
 
@@ -104,6 +124,9 @@ func (st *ShardedTail) Snapshot() TailSnapshot {
 		snap.Stats.Users += s.Users
 		snap.Stats.Sessions += s.Sessions
 		for user, b := range sh.tail.buffers {
+			if len(b.entries) == 0 {
+				continue
+			}
 			snap.Users = append(snap.Users, UserState{
 				User:    user,
 				Last:    b.last,
@@ -117,7 +140,8 @@ func (st *ShardedTail) Snapshot() TailSnapshot {
 
 // Restore replaces the ShardedTail's state with the snapshot's, re-hashing
 // users onto this processor's shard count (which need not match the one the
-// snapshot was taken with). Not safe to run concurrently with Push.
+// snapshot was taken with) and rebuilding each shard's expiry wheel. Not
+// safe to run concurrently with Push.
 func (st *ShardedTail) Restore(snap TailSnapshot) error {
 	if err := snap.validate(); err != nil {
 		return err
@@ -130,38 +154,45 @@ func (st *ShardedTail) Restore(snap TailSnapshot) error {
 			sh.mu.Unlock()
 		}
 	}()
-	buffered := 0
 	for _, sh := range st.shards {
-		buffered += sh.tail.buffered
 		sh.tail.buffers = make(map[string]*burst)
+		sh.tail.wheel = make(map[int64][]string)
 		sh.tail.buffered = 0
 		sh.tail.stats = Stats{}
 	}
-	newBuffered := 0
 	for _, u := range snap.Users {
+		if len(u.Entries) == 0 {
+			continue // entry-less user from a pre-eviction snapshot
+		}
 		sh := st.shards[shardOf(u.User, len(st.shards))]
 		sh.tail.buffers[u.User] = &burst{
-			entries: append([]session.Entry(nil), u.Entries...),
-			last:    u.Last,
+			entries:  append([]session.Entry(nil), u.Entries...),
+			last:     u.Last,
+			lastNano: u.Last.UnixNano(),
+			unsorted: !entriesSorted(u.Entries),
 		}
 		sh.tail.buffered += len(u.Entries)
-		sh.tail.stats.Users++
-		newBuffered += len(u.Entries)
+		sh.tail.wheelAdd(u.User, u.Last)
 	}
-	// The aggregate session count has no natural shard; parking it on shard 0
-	// keeps Stats() exact (per-shard session counts are not exposed).
+	// The aggregate user and session counts have no natural shard (users are
+	// cumulative activations, not the open set); parking them on shard 0
+	// keeps Stats() exact — per-shard splits are not exposed.
 	st.shards[0].tail.stats.Sessions = snap.Stats.Sessions
+	st.shards[0].tail.stats.Users = snap.Stats.Users
 	st.records.Store(int64(snap.Stats.Records))
 	st.filtered.Store(int64(snap.Stats.Filtered))
 	st.unresolved.Store(int64(snap.Stats.Unresolved))
-	metricTailBuffered.Add(int64(newBuffered - buffered))
+	for _, sh := range st.shards {
+		sh.tail.syncMetrics()
+	}
 	return nil
 }
 
 // validate rejects snapshots whose invariants do not hold — the last line of
-// defense behind the checkpoint file's CRC.
+// defense behind the checkpoint file's CRC. Stats.Users may exceed the user
+// list (closed users are evicted but stay counted); it can never be smaller.
 func (s TailSnapshot) validate() error {
-	if s.Stats.Users != len(s.Users) {
+	if s.Stats.Users < len(s.Users) {
 		return fmt.Errorf("core: snapshot stats.Users=%d but %d user states", s.Stats.Users, len(s.Users))
 	}
 	for i := 1; i < len(s.Users); i++ {

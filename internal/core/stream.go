@@ -28,7 +28,7 @@ func DiscardSessions([]session.Session) {}
 // one by one, for any workers/depth — the golden-corpus and fuzz harnesses
 // pin this.
 func (t *Tail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
-	return ingest(r, t.cfg, sink, t.Push, nil)
+	return ingest(r, t.cfg, sink, t, nil)
 }
 
 // IngestOffsets is Ingest with replay-offset reporting for checkpointing
@@ -38,7 +38,7 @@ func (t *Tail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) 
 // moment Snapshot() is exactly consistent with the offset, which is the
 // invariant crash recovery needs.
 func (t *Tail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset int64)) (malformed int, err error) {
-	return ingest(r, t.cfg, sink, t.Push, progress)
+	return ingest(r, t.cfg, sink, t, progress)
 }
 
 // IngestFiles streams an ordered multi-file log set — plain, gzip, or mixed,
@@ -51,7 +51,7 @@ func (t *Tail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset
 // return a non-nil error to abort the stream — the checkpointing caller's
 // clean-stop lever.
 func (t *Tail) IngestFiles(paths []string, start clf.FilePos, sink SessionSink, progress func(clf.FilePos) error) (malformed int, err error) {
-	return ingestFiles(paths, start, t.cfg, sink, t.Push, progress)
+	return ingestFiles(paths, start, t.cfg, sink, t, progress)
 }
 
 // Ingest is Tail.Ingest on the sharded processor. Parsing fans out over
@@ -60,44 +60,90 @@ func (t *Tail) IngestFiles(paths []string, start clf.FilePos, sink SessionSink, 
 // preserved while the parse stage runs at full parallelism. Concurrent
 // Push/Expire from other goroutines remains safe during ingestion.
 func (st *ShardedTail) Ingest(r io.Reader, sink SessionSink) (malformed int, err error) {
-	return ingest(r, st.cfg, sink, st.Push, nil)
+	return ingest(r, st.cfg, sink, st, nil)
 }
 
 // IngestOffsets is Tail.IngestOffsets on the sharded processor.
 func (st *ShardedTail) IngestOffsets(r io.Reader, sink SessionSink, progress func(offset int64)) (malformed int, err error) {
-	return ingest(r, st.cfg, sink, st.Push, progress)
+	return ingest(r, st.cfg, sink, st, progress)
 }
 
 // IngestFiles is Tail.IngestFiles on the sharded processor.
 func (st *ShardedTail) IngestFiles(paths []string, start clf.FilePos, sink SessionSink, progress func(clf.FilePos) error) (malformed int, err error) {
-	return ingestFiles(paths, start, st.cfg, sink, st.Push, progress)
+	return ingestFiles(paths, start, st.cfg, sink, st, progress)
 }
 
-// ingest wires clf.StreamParallelOffsets into a push function.
-func ingest(r io.Reader, cfg Config, sink SessionSink, push func(clf.Record) []session.Session, progress func(int64)) (int, error) {
-	if sink == nil {
-		sink = DiscardSessions
-	}
-	return clf.StreamParallelOffsetsChunked(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), cfg.StreamChunkBytes, func(rec clf.Record) {
-		if out := push(rec); len(out) > 0 {
-			sink(out)
+// pusher is the slice of the Sessionizer surface ingestion needs.
+// pushBatchInto appends onto a caller-recycled buffer; see chunkFeeder.
+type pusher interface {
+	Push(clf.Record) []session.Session
+	pushBatchInto(dst []session.Session, recs []clf.Record) []session.Session
+}
+
+// chunkFeeder builds the per-chunk delivery function ingestion hands to the
+// clf chunk pipeline, honoring Config.BatchRecords: 1 loops Push per record
+// (checkpoint consistency and sink latency identical to the legacy path),
+// <= 0 hands the whole chunk to PushBatch, > 1 slices the chunk into
+// sub-batches of at most that many records. Output is identical for every
+// setting — PushBatch is pinned byte-identical to a Push loop.
+func chunkFeeder(cfg Config, p pusher, sink SessionSink) func([]clf.Record) {
+	batch := cfg.BatchRecords
+	if batch == 1 {
+		return func(recs []clf.Record) {
+			for i := range recs {
+				if out := p.Push(recs[i]); len(out) > 0 {
+					sink(out)
+				}
+			}
 		}
-	}, progress)
+	}
+	// One output buffer for the whole ingestion: the sink must not retain
+	// the slice past the call, so each batch reuses the previous one's
+	// storage and the steady state allocates nothing per batch.
+	var buf []session.Session
+	return func(recs []clf.Record) {
+		for len(recs) > 0 {
+			n := len(recs)
+			if batch > 1 && n > batch {
+				n = batch
+			}
+			buf = p.pushBatchInto(buf[:0], recs[:n])
+			if len(buf) > 0 {
+				sink(buf)
+			}
+			recs = recs[n:]
+		}
+	}
 }
 
-// ingestFiles wires clf.StreamFiles into a push function.
-func ingestFiles(paths []string, start clf.FilePos, cfg Config, sink SessionSink, push func(clf.Record) []session.Session, progress func(clf.FilePos) error) (int, error) {
+// ingest wires the clf chunked stream into a sessionizer.
+func ingest(r io.Reader, cfg Config, sink SessionSink, p pusher, progress func(int64)) (int, error) {
 	if sink == nil {
 		sink = DiscardSessions
 	}
-	return clf.StreamFiles(paths, clf.StreamConfig{
+	feed := chunkFeeder(cfg, p, sink)
+	if cfg.BatchRecords == 1 {
+		// Per-record delivery keeps the interactive-pipe scanner degrade
+		// alive inside clf (workers == 1, no progress): records surface as
+		// lines arrive instead of when a chunk fills.
+		return clf.StreamParallelOffsetsChunked(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), cfg.StreamChunkBytes, func(rec clf.Record) {
+			if out := p.Push(rec); len(out) > 0 {
+				sink(out)
+			}
+		}, progress)
+	}
+	return clf.StreamChunked(r, cfg.effectiveWorkers(), cfg.effectiveStreamDepth(), cfg.StreamChunkBytes, feed, progress)
+}
+
+// ingestFiles wires the clf multi-file chunked stream into a sessionizer.
+func ingestFiles(paths []string, start clf.FilePos, cfg Config, sink SessionSink, p pusher, progress func(clf.FilePos) error) (int, error) {
+	if sink == nil {
+		sink = DiscardSessions
+	}
+	return clf.StreamFilesChunked(paths, clf.StreamConfig{
 		Workers:    cfg.effectiveWorkers(),
 		Depth:      cfg.effectiveStreamDepth(),
 		ChunkBytes: cfg.StreamChunkBytes,
 		Start:      start,
-	}, func(rec clf.Record) {
-		if out := push(rec); len(out) > 0 {
-			sink(out)
-		}
-	}, progress)
+	}, chunkFeeder(cfg, p, sink), progress)
 }

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"smartsra/internal/clf"
+	"smartsra/internal/heuristics"
 	"smartsra/internal/metrics"
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
@@ -25,23 +28,96 @@ import (
 // navigation heuristics can merge across >ρ gaps in batch mode, so their
 // streamed output may split earlier (documented, covered by tests).
 //
+// Memory is bounded by the ACTIVE users: when Expire or Flush closes a
+// user's burst the user is evicted from the buffer map (and their burst and
+// entry storage recycled), so a long-running tail holds state only for users
+// inside the current activity window, not for every user ever seen. The
+// price is in Stats.Users: a user who returns after eviction is counted
+// again, so Users counts user activity periods (distinct users between two
+// full drains), not lifetime-unique users — exact unique counting would
+// require remembering every user forever, which is the unbounded growth this
+// design removes.
+//
 // Tail is not safe for concurrent use; wrap it in a mutex if multiple
 // goroutines feed it.
 type Tail struct {
 	cfg      Config
 	rho      time.Duration
+	rhoNano  int64 // rho.Nanoseconds(), for the per-record integer gap check
 	buffers  map[string]*burst
 	buffered int // entries currently held in open bursts, across all users
 	stats    Stats
 	// reconstructHist times Heuristic.Reconstruct per burst close, labeled
-	// by heuristic so /debug/metrics exposes one series per strategy.
+	// by heuristic so /debug/metrics exposes one series per strategy. Timing
+	// is sampled (see reconstructSampleEvery): the count stays exact, the
+	// distribution is estimated from every Nth close, and the hot path pays
+	// the two time.Now calls only on sampled closes.
 	reconstructHist *metrics.Histogram
+	skipCloses      int64 // closes left before the next timed reconstruct
+	untimedCloses   int64 // closes since the last timed reconstruct
+
+	// appendRec is cfg.Heuristic when it implements the allocation-lean
+	// streaming extension, nil otherwise (closeInto then falls back to
+	// Reconstruct plus an append).
+	appendRec heuristics.SessionAppender
+
+	// wheel is the expiry wheel: open-burst users bucketed by the
+	// ρ-granularity time bucket of their last activity as of insertion.
+	// Entries are lazily revalidated — a user who stayed active is moved
+	// forward to the bucket of their true last activity when their old
+	// bucket comes up — so Push never pays a bucket move and Expire visits
+	// only users whose buckets have aged past the cutoff: O(active), not
+	// O(ever seen).
+	wheel map[int64][]string
+
+	// Free lists recycle the per-burst storage that eviction retires: burst
+	// headers and []session.Entry backing arrays. Both are bounded so a
+	// transient spike does not pin memory forever.
+	freeBursts  []*burst
+	freeEntries [][]session.Entry
+
+	// Deferred mirrors of the process-wide metrics: pushResolved and close
+	// touch only these plain fields, and syncMetrics folds them into the
+	// atomic registry once per public operation (per batch, not per record).
+	pendingRecords  int64
+	pendingSessions int64
+	lastBuffered    int64
+	maxDepth        int64
+	syncedMaxDepth  int64
+	// bufferedGauge mirrors buffered for lock-free readers: ShardedTail
+	// sums it across shards so a /debug/metrics scrape never takes a shard
+	// lock. Written only under the owner's serialization (the shard lock or
+	// the single-goroutine contract).
+	bufferedGauge atomic.Int64
 }
 
-// burst is one user's open request run.
+// reconstructSampleEvery is the close-timing sample rate: the first close and
+// every Nth after it run under the clock, and the untimed closes between are
+// folded into the sampled observation by weight. At millions of bursts per
+// second the histogram's cost drops to ~nothing while count stays exact and
+// the estimated distribution tracks the true one.
+const reconstructSampleEvery = 64
+
+// Free-list bounds: how many retired burst headers / entry arrays to keep,
+// and the largest entry array worth keeping (a pathological mega-burst's
+// array is better returned to the allocator).
+const (
+	maxFreeBursts  = 512
+	maxFreeEntries = 512
+	maxRecycledCap = 1024
+)
+
+// burst is one user's open request run. lastNano mirrors last.UnixNano()
+// so the per-record gap check compares plain integers instead of paying
+// time.Time.Sub; it is math.MinInt64 while the burst has no activity.
+// unsorted records that some entry arrived with a timestamp below the
+// burst's max at append time — exactly when the entries slice is out of
+// order — so close sorts only bursts that need it, without a scan.
 type burst struct {
-	entries []session.Entry
-	last    time.Time
+	entries  []session.Entry
+	last     time.Time
+	lastNano int64
+	unsorted bool
 }
 
 // NewTail builds a streaming processor from the same Config as NewPipeline
@@ -57,10 +133,14 @@ func NewTail(cfg Config, rho time.Duration) (*Tail, error) {
 	if rho < 0 {
 		return nil, fmt.Errorf("core: negative burst gap %v", rho)
 	}
+	appendRec, _ := p.cfg.Heuristic.(heuristics.SessionAppender)
 	return &Tail{
-		cfg:     p.cfg,
-		rho:     rho,
-		buffers: make(map[string]*burst),
+		cfg:       p.cfg,
+		rho:       rho,
+		rhoNano:   rho.Nanoseconds(),
+		appendRec: appendRec,
+		buffers:   make(map[string]*burst),
+		wheel:     make(map[int64][]string),
 		reconstructHist: metrics.GetHistogram(metrics.WithLabels(
 			"core.tail.reconstruct.seconds", "heur", p.cfg.Heuristic.Name())),
 	}, nil
@@ -70,40 +150,77 @@ func NewTail(cfg Config, rho time.Duration) (*Tail, error) {
 // (usually none; occasionally the previous burst of the same user).
 // Malformed-record handling belongs to the caller (clf.Scanner skips them).
 func (t *Tail) Push(rec clf.Record) []session.Session {
+	out := t.pushRecord(nil, rec)
+	t.syncMetrics()
+	return out
+}
+
+// PushBatch feeds a slice of records, returning the sessions they finalized
+// in exactly the order a record-at-a-time Push loop would have returned
+// them. It is the amortized hot path: stage counters and metrics flush once
+// per batch instead of once per record. The input slice is not retained.
+func (t *Tail) PushBatch(recs []clf.Record) []session.Session {
+	return t.pushBatchInto(nil, recs)
+}
+
+// pushBatchInto is PushBatch appending onto dst; the streaming ingest loop
+// passes one recycled buffer so steady-state batches allocate no output
+// slice at all (the sink contract forbids retention).
+func (t *Tail) pushBatchInto(dst []session.Session, recs []clf.Record) []session.Session {
+	for i := range recs {
+		dst = t.pushRecord(dst, recs[i])
+	}
+	t.syncMetrics()
+	return dst
+}
+
+// pushRecord is the shared Push/PushBatch body: count, filter, resolve, key,
+// buffer. Finalized sessions are appended onto dst; the caller syncs
+// metrics.
+func (t *Tail) pushRecord(dst []session.Session, rec clf.Record) []session.Session {
 	t.stats.Records++
-	metricTailRecords.Inc()
+	t.pendingRecords++
 	if t.cfg.Filter != nil && !t.cfg.Filter(rec) {
 		t.stats.Filtered++
-		return nil
+		return dst
 	}
 	page, ok := t.cfg.Resolver(rec.URI)
 	if !ok {
 		t.stats.Unresolved++
-		return nil
+		return dst
 	}
-	return t.pushResolved(t.cfg.Key(rec), page, rec.Time)
+	return t.pushResolved(dst, t.cfg.Key(rec), page, rec.Time)
 }
 
 // pushResolved buffers one already-cleaned, already-resolved request. It is
 // the post-shard half of Push: ShardedTail runs Filter/Resolver/Key in the
 // caller's goroutine and routes here under the owning shard's lock.
-func (t *Tail) pushResolved(user string, page webgraph.PageID, at time.Time) []session.Session {
+func (t *Tail) pushResolved(dst []session.Session, user string, page webgraph.PageID, at time.Time) []session.Session {
+	atN := at.UnixNano()
 	b := t.buffers[user]
+	out := dst
 	if b == nil {
-		b = &burst{}
+		b = t.newBurst()
 		t.buffers[user] = b
 		t.stats.Users++
-	}
-	var out []session.Session
-	if len(b.entries) > 0 && at.Sub(b.last) > t.rho {
-		out = t.close(user, b)
+		t.wheelAdd(user, at)
+	} else if len(b.entries) > 0 && atN-b.lastNano > t.rhoNano {
+		// Gap close: the user stays buffered (their next burst starts with
+		// this record), so no eviction and no wheel touch — the stale wheel
+		// entry is revalidated lazily when its bucket ages out.
+		out = t.closeInto(out, user, b)
+		b.entries = t.newEntrySlice()
+	} else if atN < b.lastNano {
+		b.unsorted = true
 	}
 	b.entries = append(b.entries, session.Entry{Page: page, Time: at})
 	t.buffered++
-	metricTailBuffered.Add(1)
-	metricTailMaxDepth.SetMax(int64(len(b.entries)))
-	if at.After(b.last) {
+	if n := int64(len(b.entries)); n > t.maxDepth {
+		t.maxDepth = n
+	}
+	if atN > b.lastNano {
 		b.last = at
+		b.lastNano = atN
 	}
 	return out
 }
@@ -112,27 +229,82 @@ func (t *Tail) pushResolved(user string, page webgraph.PageID, at time.Time) []s
 // the streaming processor's in-memory backlog across all users.
 func (t *Tail) Buffered() int { return t.buffered }
 
+// ActiveUsers returns the number of users with an open burst — the working
+// set that bounds the Tail's memory after eviction.
+func (t *Tail) ActiveUsers() int { return len(t.buffers) }
+
+// wheelBuckets returns the number of non-empty expiry-wheel buckets (test
+// and debugging hook: the wheel's size tracks the active window, not the
+// total users seen).
+func (t *Tail) wheelBuckets() int { return len(t.wheel) }
+
 // Expire finalizes every user whose last request is more than ρ before now,
-// returning their sessions. Call it periodically when tailing a live log so
-// quiet users' sessions are not held forever.
+// returning their sessions and evicting the users. Call it periodically when
+// tailing a live log so quiet users' sessions are not held forever; its cost
+// is proportional to the users whose activity buckets aged past the cutoff,
+// independent of how many users the Tail has ever seen.
 func (t *Tail) Expire(now time.Time) []session.Session {
-	var users []string
-	for u, b := range t.buffers {
-		if len(b.entries) > 0 && now.Sub(b.last) > t.rho {
-			users = append(users, u)
+	out := t.expireLocked(now)
+	t.syncMetrics()
+	return out
+}
+
+// expireLocked is Expire without the metrics sync (ShardedTail syncs once
+// per shard drain).
+func (t *Tail) expireLocked(now time.Time) []session.Session {
+	if len(t.wheel) == 0 {
+		return nil
+	}
+	cutBucket := t.bucketOf(now.Add(-t.rho))
+	var aged []int64
+	for bk := range t.wheel {
+		if bk <= cutBucket {
+			aged = append(aged, bk)
 		}
 	}
+	if len(aged) == 0 {
+		return nil
+	}
+	sort.Slice(aged, func(i, j int) bool { return aged[i] < aged[j] })
+	var users []string
+	for _, bk := range aged {
+		bucket := t.wheel[bk]
+		delete(t.wheel, bk)
+		for _, u := range bucket {
+			b := t.buffers[u]
+			if b == nil || len(b.entries) == 0 {
+				continue // evicted since insertion; stale entry, drop it
+			}
+			if now.Sub(b.last) > t.rho {
+				users = append(users, u)
+			} else {
+				// Still active: move forward to the bucket of the true last
+				// activity (the lazy half of the wheel's bookkeeping).
+				t.wheelAdd(u, b.last)
+			}
+		}
+	}
+	// Sorting keeps the emission order identical to the pre-wheel full scan.
 	sort.Strings(users)
 	var out []session.Session
 	for _, u := range users {
-		out = append(out, t.close(u, t.buffers[u])...)
+		b := t.buffers[u]
+		out = t.closeInto(out, u, b)
+		t.evict(u, b)
 	}
 	return out
 }
 
-// Flush finalizes everything buffered, in user order. The Tail remains
-// usable afterwards.
+// Flush finalizes everything buffered, in user order, and evicts every user.
+// The Tail remains usable afterwards (a returning user is counted anew).
 func (t *Tail) Flush() []session.Session {
+	out := t.flushLocked()
+	t.syncMetrics()
+	return out
+}
+
+// flushLocked is Flush without the metrics sync.
+func (t *Tail) flushLocked() []session.Session {
 	users := make([]string, 0, len(t.buffers))
 	for u, b := range t.buffers {
 		if len(b.entries) > 0 {
@@ -140,33 +312,180 @@ func (t *Tail) Flush() []session.Session {
 		}
 	}
 	sort.Strings(users)
-	var out []session.Session
+	// Most bursts reconstruct to one session; presizing at one per user
+	// absorbs the bulk of the append growth in a full drain.
+	out := make([]session.Session, 0, len(users))
 	for _, u := range users {
-		out = append(out, t.close(u, t.buffers[u])...)
+		b := t.buffers[u]
+		out = t.closeInto(out, u, b)
+		t.evict(u, b)
 	}
+	clear(t.wheel)
 	return out
 }
 
 // Stats returns the counters accumulated so far. Sessions counts emitted
-// sessions only; buffered requests are not yet sessions.
+// sessions only; buffered requests are not yet sessions. Users counts user
+// activations: a user evicted by Expire/Flush who later returns is counted
+// again (see the Tail doc).
 func (t *Tail) Stats() Stats { return t.stats }
 
-// close runs the heuristic on a burst and resets it.
-func (t *Tail) close(user string, b *burst) []session.Session {
+// close runs the heuristic on a burst and takes ownership of its entries
+// (recycling them afterwards — no heuristic retains the input slice; see
+// heuristics.Reconstructor). The burst is left empty; the caller decides
+// whether to evict it or hand it a fresh entry slice.
+func (t *Tail) closeInto(dst []session.Session, user string, b *burst) []session.Session {
 	entries := b.entries
 	b.entries = nil
 	t.buffered -= len(entries)
-	metricTailBuffered.Add(-int64(len(entries)))
 	// Out-of-order arrivals within the burst (merged proxy logs, clock
 	// skew) are sorted here; cross-burst reordering beyond ρ is a log
-	// defect the caller owns.
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].Time.Before(entries[j].Time)
-	})
-	start := time.Now()
-	sessions := t.cfg.Heuristic.Reconstruct(session.Stream{User: user, Entries: entries})
-	t.reconstructHist.ObserveDuration(time.Since(start))
-	t.stats.Sessions += len(sessions)
-	metricTailSessions.Add(int64(len(sessions)))
-	return sessions
+	// defect the caller owns. Logs are overwhelmingly in order, and
+	// pushResolved flags the rare inversion as it arrives, so the common
+	// close pays neither a sort nor a scan.
+	if b.unsorted {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return entries[i].Time.Before(entries[j].Time)
+		})
+		b.unsorted = false
+	}
+	from := len(dst)
+	if t.skipCloses == 0 {
+		start := time.Now()
+		dst = t.reconstructInto(dst, user, entries)
+		t.reconstructHist.ObserveWeighted(time.Since(start).Seconds(), 1+t.untimedCloses)
+		t.untimedCloses = 0
+		t.skipCloses = reconstructSampleEvery - 1
+	} else {
+		dst = t.reconstructInto(dst, user, entries)
+		t.skipCloses--
+		t.untimedCloses++
+	}
+	n := len(dst) - from
+	t.stats.Sessions += n
+	t.pendingSessions += int64(n)
+	t.recycleEntries(entries)
+	return dst
+}
+
+// reconstructInto runs the heuristic over one closed burst, appending its
+// sessions onto dst — directly when the heuristic supports it, via the
+// Reconstruct slice otherwise.
+func (t *Tail) reconstructInto(dst []session.Session, user string, entries []session.Entry) []session.Session {
+	if t.appendRec != nil {
+		return t.appendRec.AppendSessions(dst, session.Stream{User: user, Entries: entries})
+	}
+	return append(dst, t.cfg.Heuristic.Reconstruct(session.Stream{User: user, Entries: entries})...)
+}
+
+// evict removes a closed user from the buffer map and recycles the burst
+// header. The user's wheel entry (if any) is dropped lazily when its bucket
+// ages out.
+func (t *Tail) evict(user string, b *burst) {
+	delete(t.buffers, user)
+	if len(t.freeBursts) < maxFreeBursts {
+		b.entries = nil
+		b.last = time.Time{}
+		b.lastNano = math.MinInt64
+		b.unsorted = false
+		t.freeBursts = append(t.freeBursts, b)
+	}
+}
+
+// newBurst returns a zeroed burst header, recycled when possible, seeded
+// with a recycled entry array.
+func (t *Tail) newBurst() *burst {
+	var b *burst
+	if n := len(t.freeBursts); n > 0 {
+		b = t.freeBursts[n-1]
+		t.freeBursts[n-1] = nil
+		t.freeBursts = t.freeBursts[:n-1]
+	} else {
+		b = &burst{}
+	}
+	b.entries = t.newEntrySlice()
+	b.lastNano = math.MinInt64
+	b.unsorted = false
+	return b
+}
+
+// newEntrySlice pops a recycled entry backing array (len 0), or allocates a
+// fresh one at a typical burst's capacity.
+func (t *Tail) newEntrySlice() []session.Entry {
+	if n := len(t.freeEntries); n > 0 {
+		s := t.freeEntries[n-1]
+		t.freeEntries[n-1] = nil
+		t.freeEntries = t.freeEntries[:n-1]
+		return s
+	}
+	// Nothing to recycle: start at a typical burst's size so the common
+	// case pays one allocation instead of a 1→2→4→8→16 growth ladder.
+	return make([]session.Entry, 0, 16)
+}
+
+// recycleEntries returns a closed burst's backing array to the free list.
+// Safe because no Reconstructor retains the input entries (they copy what
+// they keep), and Snapshot deep-copies — pinned by tests.
+func (t *Tail) recycleEntries(s []session.Entry) {
+	if cap(s) == 0 || cap(s) > maxRecycledCap || len(t.freeEntries) >= maxFreeEntries {
+		return
+	}
+	t.freeEntries = append(t.freeEntries, s[:0])
+}
+
+// wheelAdd inserts user into the expiry-wheel bucket covering at.
+func (t *Tail) wheelAdd(user string, at time.Time) {
+	bk := t.bucketOf(at)
+	t.wheel[bk] = append(t.wheel[bk], user)
+}
+
+// bucketOf maps a timestamp to its ρ-width wheel bucket (floor division, so
+// pre-epoch timestamps bucket consistently too).
+func (t *Tail) bucketOf(at time.Time) int64 {
+	ns := at.UnixNano()
+	w := int64(t.rho)
+	bk := ns / w
+	if ns < 0 && ns%w != 0 {
+		bk--
+	}
+	return bk
+}
+
+// syncMetrics folds the deferred per-operation deltas into the process-wide
+// atomic metrics — one flush per public operation instead of 3–4 atomic ops
+// per record.
+func (t *Tail) syncMetrics() {
+	if t.pendingRecords != 0 {
+		metricTailRecords.Add(t.pendingRecords)
+		t.pendingRecords = 0
+	}
+	if d := int64(t.buffered) - t.lastBuffered; d != 0 {
+		metricTailBuffered.Add(d)
+		t.bufferedGauge.Add(d)
+		t.lastBuffered = int64(t.buffered)
+	}
+	if t.maxDepth > t.syncedMaxDepth {
+		metricTailMaxDepth.SetMax(t.maxDepth)
+		t.syncedMaxDepth = t.maxDepth
+	}
+	if t.pendingSessions != 0 {
+		metricTailSessions.Add(t.pendingSessions)
+		t.pendingSessions = 0
+	}
+}
+
+// entriesSorted reports whether the burst is already in time order (the
+// overwhelmingly common case for real logs).
+func entriesSorted(entries []session.Entry) bool {
+	// UnixNano is order-preserving, and the integer compare keeps this
+	// every-close pre-scan off the time.Time comparison slow path.
+	prev := int64(math.MinInt64)
+	for i := range entries {
+		et := entries[i].Time.UnixNano()
+		if et < prev {
+			return false
+		}
+		prev = et
+	}
+	return true
 }

@@ -6,9 +6,10 @@ import "smartsra/internal/session"
 // one reconstruction from a few large blocks instead of one heap allocation
 // per session. Returned slices have exact capacity (three-index slicing),
 // so a caller appending to a retained session falls off the arena instead
-// of clobbering a neighbour. Blocks are pinned by the sessions the caller
-// retains, so an arena must NOT be reused across Reconstruct calls — it
-// lives in the per-call scratch and dies with it.
+// of clobbering a neighbour. Allocation is append-only within a block —
+// handed-out regions are never rewritten — so an arena is safe to reuse
+// across Reconstruct calls (the scratch pool does): retained sessions pin at
+// most one partially shared block, bounded by arenaMaxBlock.
 type entryArena struct {
 	block []session.Entry
 	// next sizes the next block: seeded near the stream length so small
@@ -56,11 +57,23 @@ func (a *entryArena) clone2(e0, e1 session.Entry) []session.Entry {
 	return s
 }
 
-// extend allocates a copy of sess with e appended.
+// extend returns sess with e appended. When sess is the arena's most recent
+// allocation and its block has room, it grows in place — the appended slot
+// was never handed out, so every existing region (including sess itself,
+// which other holders may retain) is untouched, preserving the append-only
+// invariant. A session built by successive extends then costs O(n) writes
+// instead of the O(n²) of copy-per-extend. Otherwise it allocates a copy.
 func (a *entryArena) extend(sess []session.Entry, e session.Entry) []session.Entry {
-	s := a.alloc(len(sess) + 1)
+	n := len(sess)
+	if lo := len(a.block) - n; n > 0 && lo >= 0 &&
+		cap(a.block) > len(a.block) && &a.block[lo] == &sess[0] {
+		a.block = a.block[:lo+n+1]
+		a.block[lo+n] = e
+		return a.block[lo : lo+n+1 : lo+n+1]
+	}
+	s := a.alloc(n + 1)
 	copy(s, sess)
-	s[len(sess)] = e
+	s[n] = e
 	return s
 }
 

@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"fmt"
+	"sync"
 
 	"smartsra/internal/session"
 	"smartsra/internal/webgraph"
@@ -95,41 +96,81 @@ func (h SmartSRA) Describe() string {
 
 // sraScratch holds the reusable working buffers of one reconstruction: the
 // Phase-1 candidate boundaries and Phase-2's wave/tpages/rest/removed and
-// constructed-set header arrays. A fresh scratch is created per Reconstruct
-// call (so SmartSRA stays safe for concurrent use) and reused across every
-// candidate and wave inside it, which removes the per-wave allocation churn
-// of the naive transcription. Only the entry slices of the final sessions —
-// which the caller retains — are freshly allocated.
+// constructed-set header arrays. Scratches are pooled across Reconstruct
+// calls (so SmartSRA stays safe for concurrent use while a streaming Tail
+// closing millions of bursts pays no per-burst scratch allocation) and
+// reused across every candidate and wave inside one call. Only the entry
+// slices of the final sessions — which the caller retains — live in the
+// arena, whose append-only blocks make cross-call reuse safe.
+// Entry timestamps are mirrored into parallel []int64 UnixNano arrays
+// (remainT/restT/…): the wave scans are O(n²) time comparisons per wave, and
+// int64 compare/subtract is several times cheaper than time.Time's
+// wall/monotonic-aware Before and Sub. The conversion is order-preserving,
+// so the session output is unchanged.
+// The wave working sets hold int32 indices into the candidate instead of
+// Entry values: the per-wave partition then moves 4-byte integers rather
+// than 32-byte structs (which carry a pointer, so copying them also pays
+// GC write barriers), and the scratch slices stay invisible to the
+// garbage collector.
 type sraScratch struct {
 	bounds   []int             // phase1 candidate start offsets
-	remain   []session.Entry   // Step II working set (ping)
-	rest     []session.Entry   // Step II working set (pong)
+	remain   []int32           // Step II working set (ping), candidate indices
+	remainT  []int64           // remain's UnixNano mirror
+	rest     []int32           // Step II working set (pong)
+	restT    []int64           // rest's UnixNano mirror
 	wave     []bool            // Step I no-remaining-referrer marks
-	tpages   []session.Entry   // the current wave's pages
-	removed  []session.Entry   // entries consumed by earlier waves
+	tpages   []int32           // the current wave's pages
+	tpagesT  []int64           // tpages' UnixNano mirror
+	removed  []int32           // entries consumed by earlier waves
+	removedT []int64           // removed's UnixNano mirror
 	extended []bool            // Step III extension marks
 	set      [][]session.Entry // constructed-set headers (ping)
+	setT     []int64           // UnixNano of each set session's last entry
 	tset     [][]session.Entry // constructed-set headers (pong)
+	tsetT    []int64           // UnixNano of each tset session's last entry
 	arena    entryArena        // backing store for constructed-session entries
 }
 
+// sraScratchPool recycles reconstruction scratches across Reconstruct calls
+// (and across SmartSRA instances — the scratch carries no per-instance
+// state). Pooling is what keeps the streaming hot path allocation-free: a
+// Tail closes one burst per user per quiet period, and without the pool each
+// close would rebuild every working buffer from nothing.
+var sraScratchPool = sync.Pool{New: func() any { return new(sraScratch) }}
+
 // Reconstruct implements Reconstructor.
 func (h SmartSRA) Reconstruct(stream session.Stream) []session.Session {
-	var out []session.Session
-	var scr sraScratch
-	scr.arena.next = len(stream.Entries) + 8
+	return h.AppendSessions(nil, stream)
+}
+
+// AppendSessions implements SessionAppender: it reconstructs directly onto
+// dst, so a caller draining many bursts (core's streaming Tail) reuses one
+// output slice instead of paying an intermediate allocation per burst.
+func (h SmartSRA) AppendSessions(dst []session.Session, stream session.Stream) []session.Session {
+	start := len(dst)
+	scr := sraScratchPool.Get().(*sraScratch)
+	if scr.arena.block == nil {
+		scr.arena.next = len(stream.Entries) + 8
+	}
 	scr.bounds = h.phase1(stream.Entries, scr.bounds[:0])
 	for b := 0; b+1 < len(scr.bounds); b++ {
 		cand := stream.Entries[scr.bounds[b]:scr.bounds[b+1]]
-		sessions := h.phase2(cand, &scr)
+		sessions := h.phase2(cand, scr)
 		for _, entries := range sessions {
-			out = append(out, session.Session{User: stream.User, Entries: entries})
+			dst = append(dst, session.Session{User: stream.User, Entries: entries})
 		}
 	}
-	// The algorithm keeps only maximal sequences; enforce it globally per
-	// stream so no output session is subsumed by another (also drops exact
-	// duplicates that can arise from separate extension paths).
-	return session.MaximalOnly(out)
+	sraScratchPool.Put(scr)
+	// The algorithm keeps only maximal sequences; enforce it over this
+	// stream's sessions so no output session is subsumed by another (also
+	// drops exact duplicates that can arise from separate extension paths).
+	// MaximalOnly only allocates when something is dropped; copy the kept
+	// tail back in place then.
+	kept := session.MaximalOnly(dst[start:])
+	if len(kept) != len(dst)-start {
+		dst = dst[:start+copy(dst[start:], kept)]
+	}
+	return dst
 }
 
 // phase1 splits a request sequence into candidate sessions using the two
@@ -142,16 +183,22 @@ func (h SmartSRA) phase1(entries []session.Entry, bounds []int) []int {
 	}
 	bounds = append(bounds, 0)
 	if !h.SkipPhase1 {
-		start := 0
+		// Integer nanosecond comparisons, same trick as phase2: UnixNano is
+		// order-preserving, so the split points are identical to the
+		// time.Time.Sub form at a fraction of the per-entry cost.
+		rho := h.Rules.PageStay.Nanoseconds()
+		delta := h.Rules.TotalDuration.Nanoseconds()
+		prev := entries[0].Time.UnixNano()
+		startT := prev
 		for i := 1; i < len(entries); i++ {
-			gapBreak := !h.DisablePageStay &&
-				entries[i].Time.Sub(entries[i-1].Time) > h.Rules.PageStay
-			totalBreak := !h.DisableTotalDuration &&
-				entries[i].Time.Sub(entries[start].Time) > h.Rules.TotalDuration
+			et := entries[i].Time.UnixNano()
+			gapBreak := !h.DisablePageStay && et-prev > rho
+			totalBreak := !h.DisableTotalDuration && et-startT > delta
 			if gapBreak || totalBreak {
 				bounds = append(bounds, i)
-				start = i
+				startT = et
 			}
+			prev = et
 		}
 	}
 	return append(bounds, len(entries))
@@ -161,13 +208,28 @@ func (h SmartSRA) phase1(entries []session.Entry, bounds []int) []int {
 // returning the constructed topology-valid sessions. The returned outer
 // slice aliases scratch storage and is only valid until the next phase2
 // call on the same scratch; its element slices come from the scratch's
-// entry arena with exact capacity and are safe to retain (the arena is
-// never reused across Reconstruct calls).
+// entry arena with exact capacity and are safe to retain — the arena only
+// ever appends into fresh block space, so reusing the scratch (pooled
+// across Reconstruct calls) never rewrites a previously returned session.
 func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entry {
-	remaining := append(scr.remain[:0], cand...)
-	rest := scr.rest[:0]
-	newSet := scr.set[:0]
-	removed := scr.removed[:0] // entries consumed by earlier waves
+	rho := h.Rules.PageStay.Nanoseconds()
+	if out, ok := h.phase2Chain(cand, scr, rho); ok {
+		return out
+	}
+	return h.phase2Waves(cand, scr, rho)
+}
+
+// phase2Waves is the general wave construction — every candidate that is
+// not a pure chain (see phase2Chain) goes through here.
+func (h SmartSRA) phase2Waves(cand []session.Entry, scr *sraScratch, rho int64) [][]session.Entry {
+	remaining, remT := scr.remain[:0], scr.remainT[:0]
+	for i := range cand {
+		remaining = append(remaining, int32(i))
+		remT = append(remT, cand[i].Time.UnixNano())
+	}
+	rest, restT := scr.rest[:0], scr.restT[:0]
+	newSet, lastT := scr.set[:0], scr.setT[:0]
+	removed, remvT := scr.removed[:0], scr.removedT[:0] // consumed by earlier waves
 	for len(remaining) > 0 {
 		// Step I: collect pages with no remaining referrer — no EARLIER
 		// entry (strictly smaller timestamp, within ρ) links to them. See
@@ -179,43 +241,48 @@ func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entr
 			scr.wave = wave
 		}
 		wave = wave[:len(remaining)]
-		for i, e := range remaining {
+		for i := range remaining {
+			et := remT[i]
 			start := true
+			pi := cand[remaining[i]].Page
 			for j := 0; j < i; j++ {
-				r := remaining[j]
-				if r.Time.Before(e.Time) &&
-					e.Time.Sub(r.Time) <= h.Rules.PageStay &&
-					h.Graph.HasEdge(r.Page, e.Page) {
+				if rt := remT[j]; rt < et && et-rt <= rho &&
+					h.Graph.HasEdge(cand[remaining[j]].Page, pi) {
 					start = false
 					break
 				}
 			}
 			wave[i] = start
 		}
-		tpages := scr.tpages[:0]
-		rest = rest[:0]
-		for i, e := range remaining {
+		tpages, tpT := scr.tpages[:0], scr.tpagesT[:0]
+		rest, restT = rest[:0], restT[:0]
+		for i := range remaining {
 			if wave[i] {
-				tpages = append(tpages, e)
+				tpages = append(tpages, remaining[i])
+				tpT = append(tpT, remT[i])
 			} else {
-				rest = append(rest, e)
+				rest = append(rest, remaining[i])
+				restT = append(restT, remT[i])
 			}
 		}
-		scr.tpages = tpages
+		scr.tpages, scr.tpagesT = tpages, tpT
 		// The earliest remaining entry always qualifies, so progress is
 		// guaranteed.
 		remaining, rest = rest, remaining // Step II (swap ping/pong buffers)
+		remT, restT = restT, remT
 
 		// Step III: extend the constructed sessions.
 		if len(newSet) == 0 {
-			newSet = h.appendInferredBacktracks(newSet, tpages, removed, &scr.arena)
-			for _, e := range tpages {
-				newSet = append(newSet, scr.arena.clone1(e))
+			newSet, lastT = h.appendInferredBacktracks(newSet, lastT, cand, tpages, tpT, removed, remvT, rho, &scr.arena)
+			for i := range tpages {
+				newSet = append(newSet, scr.arena.clone1(cand[tpages[i]]))
+				lastT = append(lastT, tpT[i])
 			}
 			removed = append(removed, tpages...)
+			remvT = append(remvT, tpT...)
 			continue
 		}
-		tset := scr.tset[:0]
+		tset, tlastT := scr.tset[:0], scr.tsetT[:0]
 		extended := scr.extended
 		if cap(extended) < len(newSet) {
 			extended = make([]bool, len(newSet))
@@ -225,54 +292,121 @@ func (h SmartSRA) phase2(cand []session.Entry, scr *sraScratch) [][]session.Entr
 		for k := range extended {
 			extended[k] = false
 		}
-		for _, e := range tpages {
+		for i := range tpages {
+			e, et := cand[tpages[i]], tpT[i]
 			attached := false
 			for k, sess := range newSet {
-				last := sess[len(sess)-1]
-				if last.Time.Before(e.Time) &&
-					e.Time.Sub(last.Time) <= h.Rules.PageStay &&
-					h.Graph.HasEdge(last.Page, e.Page) {
+				if lt := lastT[k]; lt < et && et-lt <= rho &&
+					h.Graph.HasEdge(sess[len(sess)-1].Page, e.Page) {
 					tset = append(tset, scr.arena.extend(sess, e))
+					tlastT = append(tlastT, et)
 					extended[k] = true
 					attached = true
 				}
 			}
 			if !attached && h.Orphans == OrphanNewSession {
 				tset = append(tset, scr.arena.clone1(e))
+				tlastT = append(tlastT, et)
 			}
 		}
-		tset = h.appendInferredBacktracks(tset, tpages, removed, &scr.arena)
+		tset, tlastT = h.appendInferredBacktracks(tset, tlastT, cand, tpages, tpT, removed, remvT, rho, &scr.arena)
 		for k, sess := range newSet {
 			if !extended[k] {
 				tset = append(tset, sess)
+				tlastT = append(tlastT, lastT[k])
 			}
 		}
 		newSet, tset = tset, newSet // swap ping/pong header buffers
+		lastT, tlastT = tlastT, lastT
 		scr.set, scr.tset = newSet, tset[:0]
+		scr.setT, scr.tsetT = lastT, tlastT[:0]
 		removed = append(removed, tpages...)
+		remvT = append(remvT, tpT...)
 	}
 	scr.remain, scr.rest, scr.removed = remaining, rest, removed
+	scr.remainT, scr.restT, scr.removedT = remT, restT, remvT
 	if len(newSet) > 0 {
-		scr.set = newSet
+		scr.set, scr.setT = newSet, lastT
 	}
 	return newSet
 }
 
-// appendInferredBacktracks appends a [B, e] session for every consumed
-// referrer B of each wave page e (see InferBacktracks). Referrers still
-// inside the candidate cannot qualify: e would not be in the wave then.
-func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, tpages, removed []session.Entry, arena *entryArena) [][]session.Entry {
-	if !h.InferBacktracks {
-		return dst
+// phase2Chain is phase2's fast path for the dominant burst shape in real
+// navigation: a candidate whose entries already form one unambiguous
+// referrer chain. Three conditions make the wave construction's outcome a
+// foregone conclusion:
+//
+//  1. timestamps strictly increase with consecutive gaps ≤ ρ, so every
+//     Step-I wave is exactly the single next entry;
+//  2. the topology has an edge from each entry's page to its successor's,
+//     so the wave entry always extends the chain (every session in the
+//     constructed set ends at the current chain head, all extend together,
+//     and the orphan policy is never consulted);
+//  3. no earlier non-adjacent entry is a time-valid referrer of a later
+//     one — then every inferred backtrack [B, e] the slow path would emit
+//     is an adjacent pair of the chain, contiguous inside it and dropped
+//     by MaximalOnly (as is any equal-pages session from another candidate
+//     that the clone would have deduplicated: it is subsumed by this chain
+//     directly). Only checked when InferBacktracks is on; without
+//     inference no backtrack clones exist at all.
+//
+// Under those conditions the post-filter reconstruction is exactly one
+// session — the candidate itself — so the wave machinery, the backtrack
+// clones, and their MaximalOnly filtering are skipped wholesale. The guard
+// is O(n²) edge probes but allocation-free, versus the slow path's O(n³)
+// wave scans plus n-1 arena clones; on a non-chain candidate it bails at
+// the first violation and phase2 proceeds normally.
+func (h SmartSRA) phase2Chain(cand []session.Entry, scr *sraScratch, rho int64) ([][]session.Entry, bool) {
+	n := len(cand)
+	if n == 0 {
+		return nil, false
 	}
-	for _, e := range tpages {
-		for _, b := range removed {
-			if b.Time.Before(e.Time) &&
-				e.Time.Sub(b.Time) <= h.Rules.PageStay &&
-				h.Graph.HasEdge(b.Page, e.Page) {
-				dst = append(dst, arena.clone2(b, e))
+	t := scr.remainT[:0]
+	for i := range cand {
+		t = append(t, cand[i].Time.UnixNano())
+	}
+	scr.remainT = t
+	for i := 1; i < n; i++ {
+		if t[i-1] >= t[i] || t[i]-t[i-1] > rho ||
+			!h.Graph.HasEdge(cand[i-1].Page, cand[i].Page) {
+			return nil, false
+		}
+	}
+	if h.InferBacktracks {
+		for i := 2; i < n; i++ {
+			et := t[i]
+			for j := 0; j+1 < i; j++ {
+				// t[j] < et is implied by the strict increase above; the
+				// gap bound is not.
+				if et-t[j] <= rho && h.Graph.HasEdge(cand[j].Page, cand[i].Page) {
+					return nil, false
+				}
 			}
 		}
 	}
-	return dst
+	set := append(scr.set[:0], scr.arena.cloneAll(cand))
+	scr.set = set
+	return set, true
+}
+
+// appendInferredBacktracks appends a [B, e] session (with e's UnixNano onto
+// lastT) for every consumed referrer B of each wave page e (see
+// InferBacktracks). Referrers still inside the candidate cannot qualify: e
+// would not be in the wave then.
+func (h SmartSRA) appendInferredBacktracks(dst [][]session.Entry, lastT []int64, cand []session.Entry, tpages []int32, tpT []int64, removed []int32, remvT []int64, rho int64, arena *entryArena) ([][]session.Entry, []int64) {
+	if !h.InferBacktracks {
+		return dst, lastT
+	}
+	for i := range tpages {
+		et := tpT[i]
+		ei := cand[tpages[i]]
+		for j := range removed {
+			if bt := remvT[j]; bt < et && et-bt <= rho &&
+				h.Graph.HasEdge(cand[removed[j]].Page, ei.Page) {
+				dst = append(dst, arena.clone2(cand[removed[j]], ei))
+				lastT = append(lastT, et)
+			}
+		}
+	}
+	return dst, lastT
 }

@@ -138,6 +138,27 @@ func (h *Histogram) Observe(v float64) {
 // time histograms.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveWeighted records n observations of value v in one update — the
+// hot-path form for samplers that time every Nth event and account the
+// untimed ones to the measured value. Count stays exact (it advances by n);
+// the distribution becomes an estimate weighted by the sampled values.
+// n <= 0 is a no-op.
+func (h *Histogram) ObserveWeighted(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -117,6 +117,13 @@ type Plan struct {
 	// ChunkBytes is the line-aligned parse chunk size (inert when
 	// Workers == 1).
 	ChunkBytes int
+	// Batch is the sessionizer delivery granularity (core.Config's
+	// BatchRecords): 1 pushes record-at-a-time — the low-latency choice for
+	// pipes and live traffic, where a batch would sit waiting for a chunk to
+	// fill — and <= 0 hands each parsed chunk to PushBatch whole, paying the
+	// shard lock and metrics flush once per chunk instead of once per
+	// record. Never changes the emitted sessions, only when they surface.
+	Batch int
 	// Sequential reports that the parse stage should take the sequential
 	// clf.Stream path: parallelism cannot win on this input.
 	Sequential bool
@@ -136,8 +143,14 @@ func (p Plan) String() string {
 	if p.Mmap {
 		mode += "+mmap"
 	}
-	return fmt.Sprintf("%s: workers=%d shards=%d depth=%d chunk=%s — %s",
-		mode, p.Workers, p.Shards, p.StreamDepth, fmtBytes(int64(p.ChunkBytes)), p.Reason)
+	batch := "chunk"
+	if p.Batch == 1 {
+		batch = "1"
+	} else if p.Batch > 1 {
+		batch = strconv.Itoa(p.Batch)
+	}
+	return fmt.Sprintf("%s: workers=%d shards=%d depth=%d chunk=%s batch=%s — %s",
+		mode, p.Workers, p.Shards, p.StreamDepth, fmtBytes(int64(p.ChunkBytes)), batch, p.Reason)
 }
 
 const (
@@ -173,6 +186,13 @@ func Decide(in Input) Plan {
 		// supports it — a per-source decision that holds for sequential
 		// plans too (the direct loop slices windows without goroutines).
 		Mmap: in.Kind == KindFile && clf.MmapSupported,
+	}
+	// Batched sessionizer delivery is a pure throughput win on bounded
+	// inputs, but a pipe or live stream may dribble: a batch would sit
+	// waiting for its chunk to fill while the operator watches nothing
+	// happen, so interactive kinds deliver record-at-a-time.
+	if in.Kind == KindPipe || in.Kind == KindLive {
+		p.Batch = 1
 	}
 	// Gzip sizes on disk understate the parse work; plan against the
 	// estimated decoded size so a 2 MiB .gz (≈ 8 MiB of lines) still fans
@@ -318,8 +338,9 @@ func ParseKnob(name, s string) (Knob, error) {
 //
 // Explicit knob conventions match the historical integer flags: workers 0
 // means sequential, workers/shards < 0 mean all cores, depth <= 0 means the
-// default.
-func Resolve(in Input, workers, shards, depth Knob, sample []byte) (Plan, []string) {
+// default. For batch, <= 0 means whole-chunk delivery and 1 means
+// record-at-a-time.
+func Resolve(in Input, workers, shards, depth, batch Knob, sample []byte) (Plan, []string) {
 	var p Plan
 	if workers.Auto {
 		p = DecideCalibrated(in, sample)
@@ -366,6 +387,13 @@ func Resolve(in Input, workers, shards, depth Knob, sample []byte) (Plan, []stri
 			d = minStreamDepth
 		}
 		p.StreamDepth = d
+	}
+	if !batch.Auto {
+		b := batch.N
+		if b < 0 {
+			b = 0
+		}
+		p.Batch = b
 	}
 	return p, notes
 }

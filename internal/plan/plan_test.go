@@ -199,7 +199,7 @@ func TestParseKnob(t *testing.T) {
 // clamped, and every clamp is reported.
 func TestResolveExplicitOverrides(t *testing.T) {
 	in := Input{Cores: 2, SizeBytes: 256 << 20, Kind: KindFile}
-	p, notes := Resolve(in, Knob{N: 64}, Knob{N: 64}, Knob{N: 4}, nil)
+	p, notes := Resolve(in, Knob{N: 64}, Knob{N: 64}, Knob{N: 4}, Auto, nil)
 	if p.Workers != 2 {
 		t.Fatalf("workers = %d, want clamped 2 (plan %+v)", p.Workers, p)
 	}
@@ -219,14 +219,14 @@ func TestResolveExplicitOverrides(t *testing.T) {
 	}
 
 	// Legacy conventions: workers 0 sequential, -1 all cores, shards 0 all cores.
-	p, _ = Resolve(in, Knob{N: 0}, Knob{N: 0}, Auto, nil)
+	p, _ = Resolve(in, Knob{N: 0}, Knob{N: 0}, Auto, Auto, nil)
 	if !p.Sequential || p.Workers != 1 {
 		t.Fatalf("workers 0 should mean sequential, got %+v", p)
 	}
 	if p.Shards != 2 {
 		t.Fatalf("shards 0 should mean all cores (2), got %d", p.Shards)
 	}
-	p, _ = Resolve(in, Knob{N: -1}, Auto, Auto, nil)
+	p, _ = Resolve(in, Knob{N: -1}, Auto, Auto, Auto, nil)
 	if p.Sequential || p.Workers != 2 {
 		t.Fatalf("workers -1 should mean all cores, got %+v", p)
 	}
@@ -235,7 +235,7 @@ func TestResolveExplicitOverrides(t *testing.T) {
 // TestResolveAutoOneCore: the headline fix — on one core the resolved auto
 // plan is sequential, so parse/stream/tail speedups are 1.0 by construction.
 func TestResolveAutoOneCore(t *testing.T) {
-	p, notes := Resolve(Input{Cores: 1, SizeBytes: 100 << 20, Kind: KindFile}, Auto, Auto, Auto, nil)
+	p, notes := Resolve(Input{Cores: 1, SizeBytes: 100 << 20, Kind: KindFile}, Auto, Auto, Auto, Auto, nil)
 	if !p.Sequential || p.Workers != 1 || p.Shards != 1 {
 		t.Fatalf("auto on 1 core = %+v, want sequential", p)
 	}

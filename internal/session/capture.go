@@ -1,8 +1,6 @@
 package session
 
 import (
-	"sort"
-
 	"smartsra/internal/webgraph"
 )
 
@@ -84,62 +82,78 @@ func IsSubsequence(haystack, needle []webgraph.PageID) bool {
 // contiguously within a's. Smart-SRA guarantees its output sessions are
 // maximal, i.e. no output session subsumes another (unless equal).
 func Subsumes(a, b Session) bool {
-	return len(a.Entries) >= len(b.Entries) && indexOf(a.Pages(), b.Pages()) >= 0
+	return len(a.Entries) >= len(b.Entries) && entryIndexOf(a.Entries, b.Entries) >= 0
+}
+
+// entryIndexOf is indexOf over entry slices, comparing pages in place so
+// callers need not materialize page sequences. The first-page probe skips
+// the inner loop for the overwhelmingly common mismatch case.
+func entryIndexOf(haystack, needle []Entry) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	if len(needle) > len(haystack) {
+		return -1
+	}
+	first := needle[0].Page
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i].Page != first {
+			continue
+		}
+		for j := 1; j < len(needle); j++ {
+			if haystack[i+j].Page != needle[j].Page {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
 }
 
 // MaximalOnly filters out sessions strictly subsumed by another session in
 // the set, preserving the original order of the survivors. Exact duplicates
 // keep their first occurrence.
 //
-// Only a longer-or-equal session can subsume, so candidates are visited in
-// descending length order and each probe stops at the first shorter bucket;
-// page sequences are extracted once per session, not once per pair, so the
-// pass allocates O(n) regardless of how many pairs it probes.
+// This runs once per wave set inside the sessionizer hot path, where the
+// candidate sets are almost always tiny (one to a handful of sessions), so
+// the pass is tuned for small n rather than asymptotics: pages are compared
+// in place on the entry slices (no per-session page extraction), the O(1)
+// length guard prunes pairs before any sequence scan, and the output slice
+// is only allocated once the first subsumed session is found — the common
+// all-maximal case returns the input untouched.
 func MaximalOnly(sessions []Session) []Session {
-	out := make([]Session, 0, len(sessions))
 	if len(sessions) <= 1 {
-		return append(out, sessions...)
+		return sessions
 	}
-	pages := make([][]webgraph.PageID, len(sessions))
+	var out []Session
 	for i, s := range sessions {
-		pages[i] = s.Pages()
-	}
-	// byLen lists session indices sorted by length descending; the stable
-	// sort keeps original order inside one length bucket, which the
-	// duplicate rule (j < i) relies on.
-	byLen := make([]int, len(sessions))
-	for i := range byLen {
-		byLen[i] = i
-	}
-	sort.SliceStable(byLen, func(a, b int) bool {
-		return len(pages[byLen[a]]) > len(pages[byLen[b]])
-	})
-	for i, s := range sessions {
-		n := len(pages[i])
+		n := len(s.Entries)
 		subsumed := false
-		for _, j := range byLen {
-			if len(pages[j]) < n {
-				break // shorter sessions cannot subsume
-			}
-			if j == i {
-				continue
-			}
-			if len(pages[j]) > n {
-				if indexOf(pages[j], pages[i]) >= 0 {
-					subsumed = true
-					break
-				}
+		for j := range sessions {
+			m := len(sessions[j].Entries)
+			if j == i || m < n {
 				continue
 			}
 			// Equal-length subsumption means equality: drop later duplicates.
-			if j < i && indexOf(pages[j], pages[i]) >= 0 {
+			if m == n && j > i {
+				continue
+			}
+			if entryIndexOf(sessions[j].Entries, s.Entries) >= 0 {
 				subsumed = true
 				break
 			}
 		}
-		if !subsumed {
+		if subsumed {
+			if out == nil {
+				out = append(make([]Session, 0, len(sessions)-1), sessions[:i]...)
+			}
+		} else if out != nil {
 			out = append(out, s)
 		}
+	}
+	if out == nil {
+		return sessions
 	}
 	return out
 }
