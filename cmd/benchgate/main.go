@@ -32,6 +32,12 @@
 // The gate also sanity-checks every *_recs_per_sec field: a zero, negative,
 // or non-finite throughput means the bench itself is broken, and that fails
 // regardless of core count.
+//
+// A cmd/loadgen JSON report (tool == "loadgen") is gated on its own terms:
+// accepted + shed + errors must equal sent exactly, errors must be zero
+// (the smoke replays against a healthy local server), and the p99 latency
+// must be positive (the histogram measured something). Absolute latency
+// ceilings are advisory on a 1-core runner.
 package main
 
 import (
@@ -118,6 +124,10 @@ func check(path string, min, slack float64, base map[string]any, regress float64
 	}
 	advisory := cores <= 1
 
+	if tool, _ := fields["tool"].(string); tool == "loadgen" {
+		return checkLoadgen(path, fields, advisory)
+	}
+
 	var speedups, rates []string
 	for k := range fields {
 		if strings.HasSuffix(k, "_speedup") {
@@ -175,6 +185,70 @@ func check(path string, min, slack float64, base map[string]any, regress float64
 			fmt.Printf("%s: %s = %.2f VIOLATES the >= %.2f gate (plan: %v)\n", path, k, v, min, planOf(fields))
 			bad = true
 		}
+	}
+	return bad, nil
+}
+
+// loadgenP99Ceiling is the advisory latency threshold for the CI load smoke.
+// On a multi-core runner exceeding it fails the gate; on one core the
+// whole latency distribution is at the scheduler's mercy, so it only warns.
+const loadgenP99Ceiling = 0.25 // seconds
+
+// checkLoadgen gates a cmd/loadgen JSON report. Two checks hold on any
+// hardware and always fail the build: exact accounting conservation
+// (accepted + shed + errors == sent — every request ended in exactly one
+// bucket, nothing was double-counted or silently dropped) and a live
+// latency histogram (p99 > 0 — the replay actually measured something).
+// Errors must be zero too: the smoke runs against a healthy local server,
+// so a transport failure means the harness broke. Absolute latency
+// thresholds are advisory on a 1-core runner.
+func checkLoadgen(path string, fields map[string]any, advisory bool) (bool, error) {
+	num := func(key string) (float64, error) {
+		v, ok := fields[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("loadgen report field %q missing or not a number", key)
+		}
+		return v, nil
+	}
+	var sent, accepted, shed, errs, p99 float64
+	for key, dst := range map[string]*float64{
+		"sent": &sent, "accepted": &accepted, "shed": &shed,
+		"errors": &errs, "p99_seconds": &p99,
+	} {
+		v, err := num(key)
+		if err != nil {
+			return false, err
+		}
+		*dst = v
+	}
+
+	bad := false
+	if int64(accepted)+int64(shed)+int64(errs) != int64(sent) || sent <= 0 {
+		fmt.Printf("%s: accounting does not conserve: accepted %.0f + shed %.0f + errors %.0f != sent %.0f\n",
+			path, accepted, shed, errs, sent)
+		bad = true
+	} else {
+		fmt.Printf("%s: accepted %.0f + shed %.0f + errors %.0f == sent %.0f ok\n",
+			path, accepted, shed, errs, sent)
+	}
+	if errs != 0 {
+		fmt.Printf("%s: errors = %.0f against a healthy local server — the harness is broken\n", path, errs)
+		bad = true
+	}
+	if p99 <= 0 {
+		fmt.Printf("%s: p99_seconds = %v — the latency histogram is empty or broken\n", path, p99)
+		bad = true
+	}
+	switch {
+	case p99 <= 0:
+	case p99 <= loadgenP99Ceiling:
+		fmt.Printf("%s: p99_seconds = %.4f ok (<= %.2f)\n", path, p99, loadgenP99Ceiling)
+	case advisory:
+		fmt.Printf("%s: p99_seconds = %.4f above %.2f on a 1-core runner — advisory only\n",
+			path, p99, loadgenP99Ceiling)
+	default:
+		fmt.Printf("%s: p99_seconds = %.4f VIOLATES the <= %.2f ceiling\n", path, p99, loadgenP99Ceiling)
+		bad = true
 	}
 	return bad, nil
 }

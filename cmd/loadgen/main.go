@@ -1,0 +1,133 @@
+// Command loadgen replays simulated users against a running serve instance
+// in real time and reports the latency distribution and shed rate. It reuses
+// the agent model from internal/simulator, so the traffic a serve under test
+// receives is the same traffic the offline pipeline is evaluated on: a fixed
+// seed makes the request schedule reproducible run to run.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -topo topology.json \
+//	        [-agents 500] [-seed 1] [-speedup 60] [-workers 8] \
+//	        [-duration 0] [-json report.json]
+//
+// -speedup compresses simulated time (60 means one simulated minute per real
+// second); 0 disables pacing and issues requests as fast as the workers can,
+// which is the overload configuration. The process exits 0 as long as the
+// replay itself ran; shed responses are data, not failure — gate the JSON
+// report with benchgate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"smartsra/internal/loadgen"
+	"smartsra/internal/metrics"
+	"smartsra/internal/simulator"
+	"smartsra/internal/webgraph"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "base URL of the serve instance under test (required)")
+		topoPath = flag.String("topo", "", "topology JSON the server is serving (required)")
+		agents   = flag.Int("agents", 500, "number of simulated users")
+		seed     = flag.Int64("seed", 1, "simulation seed (fixed seed = reproducible schedule)")
+		stp      = flag.Float64("stp", 0.05, "session termination probability")
+		lpp      = flag.Float64("lpp", 0.30, "link-from-previous-pages probability")
+		nip      = flag.Float64("nip", 0.30, "new-initial-page probability")
+		window   = flag.Duration("start-window", time.Hour, "simulated window over which users begin")
+		speedup  = flag.Float64("speedup", 60, "simulated seconds replayed per real second (0 = no pacing, maximum pressure)")
+		workers  = flag.Int("workers", 8, "concurrent in-flight requests")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		duration = flag.Duration("duration", 0, "stop the replay after this wall-clock time (0 = run the whole schedule)")
+		jsonPath = flag.String("json", "", "write the report as flat JSON to this file (benchgate-compatible)")
+	)
+	flag.Parse()
+	if err := run(*url, *topoPath, *agents, *seed, *stp, *lpp, *nip,
+		*window, *speedup, *workers, *timeout, *duration, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
+	window time.Duration, speedup float64, workers int,
+	timeout, duration time.Duration, jsonPath string) error {
+	if url == "" || topoPath == "" {
+		return fmt.Errorf("both -url and -topo are required")
+	}
+	f, err := os.Open(topoPath)
+	if err != nil {
+		return err
+	}
+	g, err := webgraph.Decode(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("decode %s: %w", topoPath, err)
+	}
+
+	params := simulator.PaperParams()
+	params.Agents = agents
+	params.STP, params.LPP, params.NIP = stp, lpp, nip
+	params.Seed = seed
+	params.StartWindow = window
+	res, err := simulator.Run(g, params)
+	if err != nil {
+		return err
+	}
+	reqs := res.Schedule(g)
+	span := time.Duration(0)
+	if len(reqs) > 1 {
+		span = reqs[len(reqs)-1].At.Sub(reqs[0].At)
+	}
+	fmt.Printf("schedule: %d requests from %d users over %s of simulated time (seed %d)\n",
+		len(reqs), agents, span.Round(time.Second), seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	}
+
+	reg := metrics.NewRegistry()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  url,
+		Requests: reqs,
+		Speedup:  speedup,
+		Workers:  workers,
+		Timeout:  timeout,
+		Registry: reg,
+	})
+	if err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+		return err
+	}
+	fmt.Printf("replay:   %s\n", rep)
+
+	if jsonPath != "" {
+		fields := rep.Fields()
+		fields["gomaxprocs"] = runtime.GOMAXPROCS(0)
+		fields["seed"] = seed
+		fields["agents"] = agents
+		fields["speedup_factor"] = speedup
+		fields["workers"] = workers
+		data, err := json.MarshalIndent(fields, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report:   %s\n", jsonPath)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	      [-sessions sessions.txt] [-shards auto|S] [-expire-every 30s]
 //	      [-backfill old.log] [-workers auto|N] [-stream-depth auto|D]
 //	      [-checkpoint state.ckpt] [-checkpoint-every 10s]
+//	      [-ingest-queue 1024] [-shed-mode 503] [-trust-forwarded]
 //
 // -workers, -shards, and -stream-depth default to "auto": the execution
 // planner sizes replay parallelism from the core count and the replayed
@@ -25,6 +26,27 @@
 // dropping records. Runtime counters — requests served, log lines written,
 // write errors, retry/dead-letter/checkpoint events — are exposed as plain
 // text at /debug/metrics.
+//
+// With -sessions the request path is decoupled from the sessionizer by a
+// bounded ingest queue: the handler appends the record to the access log and
+// enqueues it, and a single drainer goroutine feeds the sessionizer in
+// batches. When the queue is full the server sheds load explicitly instead
+// of blocking requests or buffering without bound. -shed-mode picks how:
+// "503" (the default) refuses the whole request with 503 Service Unavailable
+// before it is served or logged, so the access log stays exactly equal to
+// what the sessionizer ingested; "drop-count" serves and logs the request
+// but drops the record from the live sessionizer (an offline replay of the
+// log recovers the difference). Either way every shed is counted in the
+// serve.shed metric — never silent. -ingest-queue sizes the queue (0 reverts
+// to synchronous in-handler sessionizing); per-request latency lands in the
+// serve.request.seconds histogram, whose p50/p95/p99 show up at
+// /debug/metrics.
+//
+// -trust-forwarded keys the client identity off the first X-Forwarded-For
+// address when the header is present — required when traffic arrives through
+// a trusted proxy or from cmd/loadgen, which replays many simulated users
+// over one loopback pool. Leave it off for directly exposed servers: the
+// header is client-controlled.
 //
 // With -sessions the server also sessionizes its own traffic live: every
 // logged request is pushed into a core.ShardedTail (Smart-SRA), finalized
@@ -62,6 +84,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -89,6 +112,8 @@ var (
 	// metricSessionWriteErrors counts failed session-file write attempts
 	// (before any retry succeeds or dead-letters).
 	metricSessionWriteErrors = metrics.GetCounter("serve.session_write_errors")
+	// metricLatency is the server-side request latency distribution.
+	metricLatency = metrics.Default.GetHistogramBuckets("serve.request.seconds", metrics.LatencyBuckets)
 )
 
 type options struct {
@@ -105,6 +130,9 @@ type options struct {
 	batch       plan.Knob
 	ckptPath    string
 	ckptEvery   time.Duration
+	queueCap    int
+	shedMode    string
+	trustFwd    bool
 }
 
 func main() {
@@ -124,6 +152,9 @@ func main() {
 	flag.StringVar(&o.backfill, "backfill", "", "existing access logs to stream through the sessionizer before serving: paths/globs, gzip ok (needs -sessions)")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file (needs -log and -sessions)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 10*time.Second, "how often to snapshot state for -checkpoint")
+	flag.IntVar(&o.queueCap, "ingest-queue", 1024, "bounded ingest queue between the request path and the sessionizer (0 = synchronous)")
+	flag.StringVar(&o.shedMode, "shed-mode", shed503, "what a full ingest queue does: 503 (refuse request, keep log == tail input) or drop-count (serve and log, drop from live tail)")
+	flag.BoolVar(&o.trustFwd, "trust-forwarded", false, "log the first X-Forwarded-For address as the client (trusted proxies and loadgen only)")
 	flag.Parse()
 	if o.topoPath == "" {
 		flag.Usage()
@@ -159,6 +190,12 @@ func run(o options) error {
 	if o.backfill != "" && o.sessPath == "" {
 		return fmt.Errorf("-backfill needs -sessions (there is nowhere to put the sessions)")
 	}
+	if o.shedMode != shed503 && o.shedMode != shedDropCount {
+		return fmt.Errorf("-shed-mode must be %q or %q, got %q", shed503, shedDropCount, o.shedMode)
+	}
+	if o.queueCap < 0 {
+		return fmt.Errorf("-ingest-queue must be >= 0, got %d", o.queueCap)
+	}
 
 	tf, err := os.Open(o.topoPath)
 	if err != nil {
@@ -170,7 +207,7 @@ func run(o options) error {
 		return err
 	}
 
-	s := &server{g: g, combined: o.combined, logPath: o.logPath, sessPath: o.sessPath}
+	s := &server{g: g, combined: o.combined, logPath: o.logPath, sessPath: o.sessPath, shedMode: o.shedMode}
 	out := io.Writer(os.Stderr)
 	if o.logPath != "" {
 		f, err := os.OpenFile(o.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -247,14 +284,44 @@ func run(o options) error {
 		}
 	}
 
+	// The bounded ingest queue decouples the request path from the
+	// sessionizer: one drainer goroutine batches queued records into the
+	// tail and the session sink, outside every server lock.
+	var drained sync.WaitGroup
+	if s.tee != nil && o.queueCap > 0 {
+		s.queue = newIngestQueue(o.queueCap)
+		drained.Add(1)
+		go func() {
+			defer drained.Done()
+			s.queue.drain(drainBatchMax, s.drainRecords)
+		}()
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", metrics.Handler())
-	mux.Handle("/", webserver.AccessLog(webserver.NewSite(g), flushAfter{s}, time.Now))
+	site := webserver.AccessLogWith(webserver.NewSite(g), flushAfter{s},
+		webserver.LogOptions{Now: time.Now, TrustForwardedFor: o.trustFwd})
+	root := site
+	if s.queue != nil && s.shedMode == shed503 {
+		root = s.shedGate(site)
+	}
+	mux.Handle("/", timed(root))
+
+	// Bind explicitly (rather than ListenAndServe) so :0 works: the soak
+	// harness and scripts parse the actual bound address from this line.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on %s\n", ln.Addr())
 	fmt.Printf("serving %s on %s (log: %s, format: %s, metrics: /debug/metrics)\n",
-		g, o.addr, orStderr(o.logPath), format(o.combined))
+		g, ln.Addr(), orStderr(o.logPath), format(o.combined))
 	if s.tee != nil {
 		fmt.Printf("sessionizing live to %s (%d shards, expire every %v)\n",
 			o.sessPath, s.tee.st.Shards(), o.expireEvery)
+	}
+	if s.queue != nil {
+		fmt.Printf("ingest queue: %d records, shed mode %s\n", o.queueCap, o.shedMode)
 	}
 	if s.ckpt != nil {
 		fmt.Printf("checkpointing to %s every %v\n", o.ckptPath, o.ckptEvery)
@@ -273,24 +340,40 @@ func run(o options) error {
 		go s.checkpointLoop(o.ckptEvery, done, &wg)
 	}
 
+	// The rotation listener stops through done like every other background
+	// loop and is awaited in wg.Wait — it must not outlive the files it
+	// reopens.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	wg.Add(1)
 	go func() {
-		for range hup {
-			fmt.Println("caught SIGHUP, reopening log files")
-			s.rotate()
+		defer wg.Done()
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-hup:
+				fmt.Println("caught SIGHUP, reopening log files")
+				s.rotate()
+			case <-done:
+				return
+			}
 		}
 	}()
 
-	// Serve until SIGINT/SIGTERM, then shut down gracefully so the final
-	// ShardedTail flush writes every still-buffered session.
-	srv := &http.Server{Addr: o.addr, Handler: mux}
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop accepting,
+	// drain the ingest queue, stop the background loops, and only then flush
+	// the tail and take the final checkpoint.
+	srv := &http.Server{Handler: mux}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		if s.queue != nil {
+			s.queue.stop(5*time.Second, s.drainRecords)
+			drained.Wait()
+		}
 		close(done)
 		wg.Wait()
 		return err
@@ -299,12 +382,20 @@ func run(o options) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		shutdownErr := srv.Shutdown(ctx)
+		settled := true
+		if s.queue != nil {
+			settled = s.queue.stop(5*time.Second, s.drainRecords)
+			drained.Wait()
+			if !settled {
+				fmt.Fprintln(os.Stderr, "serve: ingest queue did not settle; skipping final checkpoint (next start replays the log)")
+			}
+		}
 		close(done)
 		wg.Wait()
 		if s.tee != nil {
 			s.tee.emit(s.tee.st.Flush())
 		}
-		if s.ckpt != nil {
+		if s.ckpt != nil && settled {
 			s.mu.Lock()
 			if err := s.saveCheckpointLocked(); err != nil {
 				fmt.Fprintln(os.Stderr, "serve: final checkpoint:", err)
@@ -316,6 +407,48 @@ func run(o options) error {
 		}
 		return nil
 	}
+}
+
+// drainBatchMax bounds how many queued records one drainer pass hands the
+// sessionizer: one tail lock round and one session write per batch.
+const drainBatchMax = 256
+
+// drainRecords is the drainer's processing function: push a batch into the
+// tail, emit whatever sessions it finalized. It runs outside every server
+// lock (only the drainer and the post-drainer stop path call it, never
+// concurrently), so a checkpoint holding the exclusive lock can wait on the
+// queue barrier while the drainer keeps making progress.
+func (s *server) drainRecords(recs []clf.Record) {
+	s.drainBuf = s.tee.st.PushBatchInto(s.drainBuf[:0], recs)
+	s.tee.emit(s.drainBuf)
+}
+
+// shedGate admits a request only if the ingest queue has a free slot,
+// reserving it for the record the access logger will enqueue once the
+// request completes. A full queue refuses the request outright — 503, shed
+// counter — before anything is served or logged, so the access log and the
+// sessionizer's input stay identical and the server's memory stays bounded
+// no matter how hard the load generator pushes.
+func (s *server) shedGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.queue.tryReserve() {
+			metricShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: ingest queue full", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timed records every request's wall-clock latency in the
+// serve.request.seconds histogram; /debug/metrics reports its p50/p95/p99.
+func timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		metricLatency.Observe(time.Since(start).Seconds())
+	})
 }
 
 // server bundles the live state the request path, the background loops, and
@@ -335,6 +468,17 @@ type server struct {
 
 	sessPath string
 	tee      *sessionTee // nil without -sessions
+
+	// ingestMu serializes {log append, log flush, queue enqueue} so queue
+	// order is exactly log order: the live tail's input is then a
+	// prefix-replay of the access log, which is what makes crash recovery
+	// (replay the log) reproduce the live run byte for byte.
+	ingestMu sync.Mutex
+	queue    *ingestQueue // nil without -sessions or with -ingest-queue 0
+	shedMode string
+	// drainBuf is the drainer's recycled session output buffer; only
+	// drainRecords touches it, and its callers never run concurrently.
+	drainBuf []session.Session
 
 	ckpt *checkpoint.Writer // nil without -checkpoint
 }
@@ -458,9 +602,17 @@ func (s *server) buildCheckpoint(logOff int64) *checkpoint.Checkpoint {
 	}
 }
 
-// saveCheckpointLocked flushes and syncs the access log, then snapshots.
-// Caller holds s.mu exclusively.
+// saveCheckpointLocked drains the ingest queue, then flushes and syncs the
+// access log and snapshots. Caller holds s.mu exclusively, which freezes the
+// request path — the barrier therefore waits on a fixed amount of queued
+// work, and the snapshot sees every logged record reflected in the tail and
+// the session file. Without the barrier a logged-but-still-queued record
+// would be inside the checkpoint's log offset but absent from its tail
+// snapshot, and recovery would lose it.
 func (s *server) saveCheckpointLocked() error {
+	if s.queue != nil {
+		s.queue.barrier()
+	}
 	if err := s.sink.Flush(); err != nil {
 		return err
 	}
@@ -522,6 +674,11 @@ func (s *server) expireLoop(every time.Duration, done chan struct{}, wg *sync.Wa
 func (s *server) rotate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.queue != nil {
+		// Settle records logged to the outgoing file before swapping, so the
+		// old log and the sessions emitted from it rotate as a pair.
+		s.queue.barrier()
+	}
 	if s.logFile != nil {
 		if err := s.sink.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "serve: log flush on rotate:", err)
@@ -689,12 +846,32 @@ func (f flushAfter) Record(r clf.Record) {
 	f.s.mu.RLock()
 	defer f.s.mu.RUnlock()
 	metricRequests.Inc()
+	f.s.ingestMu.Lock()
 	f.s.sink.Record(r)
-	if err := f.s.sink.Flush(); err != nil {
+	err := f.s.sink.Flush()
+	if q := f.s.queue; q != nil {
+		if f.s.shedMode == shedDropCount {
+			// The slot is claimed here, not at admission: the request was
+			// served and logged either way, only the live tail misses out.
+			if q.tryReserve() {
+				q.enqueue(r)
+			} else {
+				metricShed.Inc()
+			}
+		} else {
+			// 503 mode: shedGate reserved the slot before the request ran.
+			q.enqueue(r)
+		}
+	}
+	f.s.ingestMu.Unlock()
+	if err != nil {
 		metricLogWriteErrors.Inc()
 		fmt.Fprintln(os.Stderr, "serve: log write:", err)
 	}
-	if f.s.tee != nil {
+	if f.s.tee != nil && f.s.queue == nil {
+		// -ingest-queue 0: the legacy synchronous path, sessionizing on the
+		// request goroutine (the tail is concurrency-safe, so this stays
+		// outside ingestMu).
 		f.s.tee.push(r)
 	}
 }

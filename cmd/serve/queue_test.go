@@ -1,0 +1,221 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartsra/internal/clf"
+)
+
+func testRecord(i int) clf.Record {
+	return clf.Record{
+		Host: "10.0.0.1", Ident: "-", AuthUser: "-",
+		Time:   time.Date(2026, 8, 8, 12, 0, i, 0, time.UTC),
+		Method: "GET", URI: fmt.Sprintf("/p/%d.html", i), Protocol: "HTTP/1.1",
+		Status: 200, Bytes: 100,
+	}
+}
+
+// TestQueueShedsExactlyAtCapacity: with capacity C, exactly C reservations
+// win and every further attempt sheds until a slot is released — no
+// off-by-one, no silent admission.
+func TestQueueShedsExactlyAtCapacity(t *testing.T) {
+	const capacity = 8
+	q := newIngestQueue(capacity)
+	won := 0
+	for i := 0; i < 3*capacity; i++ {
+		if q.tryReserve() {
+			won++
+		}
+	}
+	if won != capacity {
+		t.Fatalf("%d reservations won against capacity %d", won, capacity)
+	}
+
+	// Enqueue the reserved records and drain them; every slot frees up.
+	var processed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q.drain(4, func(recs []clf.Record) { processed.Add(int64(len(recs))) })
+	}()
+	for i := 0; i < capacity; i++ {
+		q.enqueue(testRecord(i))
+	}
+	q.barrier()
+	if processed.Load() != capacity {
+		t.Fatalf("drainer processed %d of %d", processed.Load(), capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		if !q.tryReserve() {
+			t.Fatalf("slot %d not released after drain", i)
+		}
+	}
+	if q.tryReserve() {
+		t.Fatal("over-admitted past capacity after refill")
+	}
+	// Stop with reserved-but-never-enqueued slots: the queue cannot settle,
+	// and stop must say so instead of deadlocking.
+	if settled := q.stop(50*time.Millisecond, func([]clf.Record) {}); settled {
+		t.Fatal("stop reported settled with reservations never enqueued")
+	}
+	wg.Wait()
+}
+
+// TestQueueStopDrainsFullBacklog: stopping with the queue full to capacity
+// must process every record and report settled — shutdown cannot deadlock on
+// a full queue or drop its backlog.
+func TestQueueStopDrainsFullBacklog(t *testing.T) {
+	const capacity = 512
+	q := newIngestQueue(capacity)
+	for i := 0; i < capacity; i++ {
+		if !q.tryReserve() {
+			t.Fatalf("reservation %d lost", i)
+		}
+		q.enqueue(testRecord(i))
+	}
+	// Start the drainer only now: the whole backlog is already queued, so
+	// the stop path must hand it over without deadlocking.
+	var processed atomic.Int64
+	done := make(chan bool, 1)
+	go func() {
+		go q.drain(64, func(recs []clf.Record) { processed.Add(int64(len(recs))) })
+		done <- q.stop(5*time.Second, func(recs []clf.Record) { processed.Add(int64(len(recs))) })
+	}()
+	select {
+	case settled := <-done:
+		if !settled {
+			t.Fatal("stop did not settle a fully-enqueued backlog")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown deadlocked on a full queue")
+	}
+	if processed.Load() != capacity {
+		t.Fatalf("processed %d of %d backlog records", processed.Load(), capacity)
+	}
+}
+
+// TestQueueStragglerAfterStop: a record enqueued after the drainer exited
+// (the post-shutdown-deadline straggler) is processed by stop itself.
+func TestQueueStragglerAfterStop(t *testing.T) {
+	q := newIngestQueue(4)
+	go q.drain(4, func([]clf.Record) {})
+	if !q.tryReserve() {
+		t.Fatal("reserve failed on an empty queue")
+	}
+	stopped := make(chan bool, 1)
+	go func() {
+		stopped <- q.stop(5*time.Second, func([]clf.Record) {})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the drainer exit first
+	q.enqueue(testRecord(1))
+	select {
+	case settled := <-stopped:
+		if !settled {
+			t.Fatal("stop abandoned a straggler it had the slot accounting for")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop hung on a straggler")
+	}
+}
+
+// TestQueueBarrierWaitsForProcessing: barrier must not return while an
+// enqueued record is still being processed (pushed + emitted).
+func TestQueueBarrierWaitsForProcessing(t *testing.T) {
+	q := newIngestQueue(4)
+	release := make(chan struct{})
+	var finished atomic.Bool
+	go q.drain(1, func([]clf.Record) {
+		<-release
+		finished.Store(true)
+	})
+	if !q.tryReserve() {
+		t.Fatal("reserve failed")
+	}
+	q.enqueue(testRecord(1))
+	barrierDone := make(chan struct{})
+	go func() {
+		q.barrier()
+		close(barrierDone)
+	}()
+	select {
+	case <-barrierDone:
+		t.Fatal("barrier returned while the drainer was mid-batch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-barrierDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("barrier never released")
+	}
+	if !finished.Load() {
+		t.Fatal("barrier returned before processing finished")
+	}
+	q.stop(time.Second, func([]clf.Record) {})
+}
+
+// TestShedGateExactCounts: with capacity C and an inner handler that holds
+// its slot until released, a burst of N > C concurrent requests yields
+// exactly C admissions and N-C 503s, each counted once.
+func TestShedGateExactCounts(t *testing.T) {
+	const capacity, burst = 3, 20
+	metricShed.Add(-metricShed.Value()) // isolate this test's counts
+	q := newIngestQueue(capacity)
+	s := &server{queue: q, shedMode: shed503}
+
+	release := make(chan struct{})
+	var admitted atomic.Int64
+	gate := s.shedGate(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		admitted.Add(1)
+		<-release
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(gate)
+	defer srv.Close()
+
+	codes := make(chan int, burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	// All capacity slots claimed, the rest shed, before anyone is released.
+	deadline := time.Now().Add(5 * time.Second)
+	for metricShed.Value() < burst-capacity && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	var oks, unavailable int
+	for i := 0; i < burst; i++ {
+		switch <-codes {
+		case http.StatusOK:
+			oks++
+		case http.StatusServiceUnavailable:
+			unavailable++
+		default:
+			t.Fatal("request neither served nor shed")
+		}
+	}
+	if oks != capacity || unavailable != burst-capacity {
+		t.Fatalf("admitted %d / shed %d, want %d / %d", oks, unavailable, capacity, burst-capacity)
+	}
+	if got := metricShed.Value(); got != burst-capacity {
+		t.Fatalf("serve.shed = %d, want %d", got, burst-capacity)
+	}
+	if got := admitted.Load(); got != capacity {
+		t.Fatalf("inner handler ran %d times, want %d", got, capacity)
+	}
+}

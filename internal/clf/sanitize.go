@@ -1,0 +1,112 @@
+package clf
+
+import "strings"
+
+// Log-injection hardening for the HTTP → CLF boundary. CLF has no escaping
+// convention: a URI containing a space breaks the three-token request line, a
+// double quote ends the quoted field early, and a newline splits one logical
+// record across two physical lines (classic log injection — a hostile client
+// forges whole records). The sanitizers below make any untrusted string safe
+// to embed in a CLF line by percent-encoding exactly the bytes that break
+// framing, and nothing else, so ordinary values pass through unchanged.
+//
+// The encoding is idempotent ('%' itself is never escaped, so sanitizing an
+// already-sanitized value is the identity) and round-trips: a sanitized
+// record rendered with Writer and re-parsed with ParseRecord /
+// ParseCombinedRecord yields the sanitized record back, byte for byte. That
+// property is what FuzzAccessLogRecord pins.
+
+// MaxFieldBytes caps one sanitized field's input length. The line scanner
+// skips lines over 1 MiB as malformed, so a single hostile multi-megabyte
+// User-Agent would otherwise turn its whole record into data loss; 8 KiB is
+// far above any legitimate header value.
+const MaxFieldBytes = 8 << 10
+
+const upperhex = "0123456789ABCDEF"
+
+// needsEscape reports whether byte c breaks CLF framing: control bytes
+// (line splitting, terminal escapes in logs), DEL, the double quote (quoted
+// fields), and — when the field is space-delimited — the space.
+func needsEscape(c byte, space bool) bool {
+	return c < 0x20 || c == 0x7f || c == '"' || (space && c == ' ')
+}
+
+// sanitize percent-encodes the framing-breaking bytes of s, truncating the
+// input to MaxFieldBytes first. Clean values are returned unchanged with no
+// allocation.
+func sanitize(s string, space bool) string {
+	if len(s) > MaxFieldBytes {
+		s = s[:MaxFieldBytes]
+	}
+	dirty := 0
+	for i := 0; i < len(s); i++ {
+		if needsEscape(s[i], space) {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 2*dirty)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if needsEscape(c, space) {
+			sb.WriteByte('%')
+			sb.WriteByte(upperhex[c>>4])
+			sb.WriteByte(upperhex[c&0xf])
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// SanitizeToken makes s safe for a space-delimited CLF position (host,
+// ident, authuser, method, URI, protocol): spaces, quotes, and control bytes
+// are percent-encoded and an empty value becomes "-" (an empty token would
+// shift every following field).
+func SanitizeToken(s string) string {
+	if s == "" {
+		return NoField
+	}
+	return sanitize(s, true)
+}
+
+// SanitizeQuoted makes s safe for a quoted combined-format field (Referer,
+// User-Agent): quotes and control bytes are percent-encoded, spaces are kept
+// (the quoted-field parsers handle them), and an empty value becomes "-" so
+// the rendered line re-parses to the same record.
+func SanitizeQuoted(s string) string {
+	if s == "" {
+		return NoField
+	}
+	return sanitize(s, false)
+}
+
+// SanitizeRecord returns r with every client-controlled string field made
+// safe for CLF rendering and the numeric fields normalized into the ranges
+// the strict parser accepts (status clamped into [100, 599], any negative
+// byte count canonicalized to -1). The result is a fixed point: sanitizing
+// twice equals sanitizing once, and writing then re-parsing the sanitized
+// record reproduces it exactly.
+func SanitizeRecord(r Record) Record {
+	r.Host = SanitizeToken(r.Host)
+	r.Ident = SanitizeToken(r.Ident)
+	r.AuthUser = SanitizeToken(r.AuthUser)
+	r.Method = SanitizeToken(r.Method)
+	r.URI = SanitizeToken(r.URI)
+	r.Protocol = SanitizeToken(r.Protocol)
+	r.Referer = SanitizeQuoted(r.Referer)
+	r.UserAgent = SanitizeQuoted(r.UserAgent)
+	if r.Status < 100 {
+		r.Status = 100
+	}
+	if r.Status > 599 {
+		r.Status = 599
+	}
+	if r.Bytes < 0 {
+		r.Bytes = -1
+	}
+	return r
+}

@@ -1,0 +1,126 @@
+package clf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSanitizeToken(t *testing.T) {
+	cases := map[string]string{
+		"":                  "-",
+		"-":                 "-",
+		"/p/17.html":        "/p/17.html",
+		"a b":               "a%20b",
+		"a\"b":              "a%22b",
+		"a\nb":              "a%0Ab",
+		"a\rb":              "a%0Db",
+		"a\x00b":            "a%00b",
+		"a\x7fb":            "a%7Fb",
+		"/ok?q=1&x=%20":     "/ok?q=1&x=%20", // already-encoded input is untouched
+		"tab\there":         "tab%09here",
+		"10.0.0.7":          "10.0.0.7",
+		"curl/8.0 (x; y)":   "curl/8.0%20(x;%20y)",
+		"esc\x1b[31mred":    "esc%1B[31mred",
+		"\r\n\r\ninjected":  "%0D%0A%0D%0Ainjected",
+		"GET /x HTTP/1.1\"": "GET%20/x%20HTTP/1.1%22",
+	}
+	for in, want := range cases {
+		if got := SanitizeToken(in); got != want {
+			t.Errorf("SanitizeToken(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeQuotedKeepsSpaces(t *testing.T) {
+	if got := SanitizeQuoted("Mozilla/5.0 (X11; Linux)"); got != "Mozilla/5.0 (X11; Linux)" {
+		t.Errorf("clean agent mangled: %q", got)
+	}
+	if got := SanitizeQuoted(`evil" 200 1 "x`); got != `evil%22 200 1 %22x` {
+		t.Errorf("quote escape = %q", got)
+	}
+	if got := SanitizeQuoted(""); got != NoField {
+		t.Errorf("empty quoted field = %q, want -", got)
+	}
+}
+
+func TestSanitizeIdempotent(t *testing.T) {
+	hostiles := []string{
+		"a b\"c\nd\x00e", "\r\n", `%20%22`, strings.Repeat("\"", 100),
+	}
+	for _, h := range hostiles {
+		once := SanitizeToken(h)
+		if twice := SanitizeToken(once); twice != once {
+			t.Errorf("SanitizeToken not idempotent on %q: %q -> %q", h, once, twice)
+		}
+		onceQ := SanitizeQuoted(h)
+		if twiceQ := SanitizeQuoted(onceQ); twiceQ != onceQ {
+			t.Errorf("SanitizeQuoted not idempotent on %q: %q -> %q", h, onceQ, twiceQ)
+		}
+	}
+}
+
+func TestSanitizeTruncatesOversizedFields(t *testing.T) {
+	huge := strings.Repeat("A", 2<<20)
+	got := SanitizeToken(huge)
+	if len(got) != MaxFieldBytes {
+		t.Errorf("len = %d, want cap %d", len(got), MaxFieldBytes)
+	}
+}
+
+// TestSanitizeRecordRoundTrips pins the contract the webserver boundary
+// relies on: a sanitized record renders to exactly one line that re-parses
+// to the same record, in both formats.
+func TestSanitizeRecordRoundTrips(t *testing.T) {
+	at, _ := time.Parse(TimeLayout, "02/Jan/2006:15:04:05 +0000")
+	hostile := Record{
+		Host:      "10.0.0.7 evil",
+		Ident:     "",
+		AuthUser:  "a\nb",
+		Time:      at,
+		Method:    "GE T",
+		URI:       "/x\" 200 999 \"y",
+		Protocol:  "HTTP/1.1\r\nfake",
+		Status:    700,
+		Bytes:     -42,
+		Referer:   "http://r/\" \"",
+		UserAgent: "ua\x00\x1b[2J",
+	}
+	san := SanitizeRecord(hostile)
+	if again := SanitizeRecord(san); again != san {
+		t.Fatalf("SanitizeRecord not a fixed point:\n%+v\n%+v", san, again)
+	}
+
+	line := san.String()
+	if strings.ContainsAny(line, "\r\n\x00") {
+		t.Fatalf("common line still contains framing bytes: %q", line)
+	}
+	back, err := ParseRecord(line)
+	if err != nil {
+		t.Fatalf("common line does not re-parse: %v\n%q", err, line)
+	}
+	back.Referer, back.UserAgent = san.Referer, san.UserAgent // common format drops them
+	if !back.Time.Equal(san.Time) {
+		t.Fatalf("time did not round-trip: %v vs %v", back.Time, san.Time)
+	}
+	back.Time = san.Time
+	if back != san {
+		t.Fatalf("common round trip diverged:\n got %+v\nwant %+v", back, san)
+	}
+
+	cline := san.CombinedString()
+	if strings.ContainsAny(cline, "\r\n\x00") {
+		t.Fatalf("combined line still contains framing bytes: %q", cline)
+	}
+	cback, err := ParseCombinedRecord(cline)
+	if err != nil {
+		t.Fatalf("combined line does not re-parse: %v\n%q", err, cline)
+	}
+	if !cback.Time.Equal(san.Time) {
+		t.Fatalf("combined time did not round-trip")
+	}
+	cback.Time = san.Time
+	if cback != san {
+		t.Fatalf("combined round trip diverged:\n got %+v\nwant %+v", cback, san)
+	}
+}

@@ -47,6 +47,14 @@ func (st *ShardedTail) PushBatch(recs []clf.Record) []session.Session {
 	return st.pushBatchInto(nil, recs)
 }
 
+// PushBatchInto is PushBatch appending onto dst, for callers that hand the
+// result straight to a SessionSink and recycle the buffer (the sink contract
+// forbids retention): long-running drain loops stay allocation-free on the
+// output side. Pass dst[:0] to reuse capacity across batches.
+func (st *ShardedTail) PushBatchInto(dst []session.Session, recs []clf.Record) []session.Session {
+	return st.pushBatchInto(dst, recs)
+}
+
 // pushBatchInto is PushBatch appending onto dst: the streaming ingest loop
 // passes one recycled buffer so steady-state batches allocate no output
 // slice at all (the sink contract forbids retention).

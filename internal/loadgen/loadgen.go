@@ -1,0 +1,228 @@
+// Package loadgen replays a simulated-user request schedule against a live
+// HTTP server in real time. It is the measurement half of the serve hardening
+// loop: the simulator decides who fetches what and when, loadgen turns that
+// schedule into paced HTTP traffic, and per-request latencies land in
+// quantile-capable histograms so a run reports p50/p99/p999 and the shed
+// rate instead of a bare throughput number.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/metrics"
+	"smartsra/internal/simulator"
+)
+
+// Config configures one replay.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Requests is the schedule to replay, globally time-ordered
+	// (simulator.Result.Schedule output).
+	Requests []simulator.Request
+	// Speedup compresses simulated time: a request due N simulated seconds
+	// into the schedule is issued N/Speedup real seconds after start. Zero or
+	// negative means no pacing — every request is issued as soon as a worker
+	// is free (maximum pressure).
+	Speedup float64
+	// Workers is the number of concurrent in-flight requests (default 8).
+	Workers int
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+	// Registry receives loadgen.* counters and the latency histogram
+	// (default metrics.Default).
+	Registry *metrics.Registry
+	// UserAgent is sent on every request (default "smartsra-loadgen/1.0").
+	UserAgent string
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	// Sent counts requests handed to the HTTP client.
+	Sent int64
+	// Accepted counts 2xx responses.
+	Accepted int64
+	// Shed counts 503 responses — the server's explicit load-shedding signal.
+	Shed int64
+	// Errors counts transport failures and any other status.
+	Errors int64
+	// Duration is the wall-clock span of the replay.
+	Duration time.Duration
+	// Latency holds the full client-side latency distribution of every
+	// request that produced an HTTP response.
+	Latency metrics.HistogramStats
+}
+
+// ShedRate is Shed / Sent (0 for an empty run).
+func (r Report) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// Fields flattens the report into the flat-JSON shape the benchgate tool
+// checks: conservation inputs, quantiles in seconds, and the shed rate.
+func (r Report) Fields() map[string]any {
+	return map[string]any{
+		"tool":             "loadgen",
+		"sent":             r.Sent,
+		"accepted":         r.Accepted,
+		"shed":             r.Shed,
+		"errors":           r.Errors,
+		"shed_rate":        r.ShedRate(),
+		"duration_seconds": r.Duration.Seconds(),
+		"latency_count":    r.Latency.Count,
+		"latency_mean":     r.Latency.Mean(),
+		"p50_seconds":      r.Latency.Quantile(0.50),
+		"p99_seconds":      r.Latency.Quantile(0.99),
+		"p999_seconds":     r.Latency.Quantile(0.999),
+	}
+}
+
+// String summarizes the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"sent=%d accepted=%d shed=%d errors=%d shed_rate=%.3f p50=%s p99=%s p999=%s in %s",
+		r.Sent, r.Accepted, r.Shed, r.Errors, r.ShedRate(),
+		secs(r.Latency.Quantile(0.50)), secs(r.Latency.Quantile(0.99)),
+		secs(r.Latency.Quantile(0.999)), r.Duration.Round(time.Millisecond))
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
+}
+
+// Run replays cfg.Requests against cfg.BaseURL and blocks until every
+// request completed or ctx is cancelled. The error reports setup problems
+// only; per-request failures are counted, not returned, because under
+// deliberate overload failures are data.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.BaseURL == "" {
+		return Report{}, fmt.Errorf("loadgen: no base URL")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
+	agent := cfg.UserAgent
+	if agent == "" {
+		agent = "smartsra-loadgen/1.0"
+	}
+	var (
+		sent     = reg.GetCounter("loadgen.sent")
+		accepted = reg.GetCounter("loadgen.accepted")
+		shed     = reg.GetCounter("loadgen.shed")
+		errors   = reg.GetCounter("loadgen.errors")
+		latency  = reg.GetHistogramBuckets("loadgen.latency.seconds", metrics.LatencyBuckets)
+	)
+	client := &http.Client{
+		Timeout: timeout,
+		// The site's "/" start-page redirect must count as one request, and
+		// page URIs never redirect, so follow nothing.
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	var rep Report
+	work := make(chan simulator.Request)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range work {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+q.URI, nil)
+				if err != nil {
+					atomic.AddInt64(&rep.Sent, 1)
+					atomic.AddInt64(&rep.Errors, 1)
+					sent.Add(1)
+					errors.Add(1)
+					continue
+				}
+				req.Header.Set("User-Agent", agent)
+				// The simulated user's identity rides X-Forwarded-For so a
+				// server started with -trust-forwarded keys sessions by
+				// simulated user, not by the one loopback address all
+				// workers share.
+				req.Header.Set("X-Forwarded-For", q.User)
+				if q.Referer != "" && q.Referer != clf.NoField {
+					req.Header.Set("Referer", q.Referer)
+				}
+				start := time.Now()
+				resp, err := client.Do(req)
+				atomic.AddInt64(&rep.Sent, 1)
+				sent.Add(1)
+				if err != nil {
+					atomic.AddInt64(&rep.Errors, 1)
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latency.Observe(time.Since(start).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					atomic.AddInt64(&rep.Shed, 1)
+					shed.Add(1)
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					atomic.AddInt64(&rep.Accepted, 1)
+					accepted.Add(1)
+				default:
+					atomic.AddInt64(&rep.Errors, 1)
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Dispatch in schedule order, pacing against the first request's
+	// simulated time. A request whose due time has passed (slow server, tight
+	// speedup) goes out immediately — the schedule lags rather than drops.
+	begin := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+dispatch:
+	for _, q := range cfg.Requests {
+		if cfg.Speedup > 0 {
+			due := begin.Add(time.Duration(float64(q.At.Sub(cfg.Requests[0].At)) / cfg.Speedup))
+			if wait := time.Until(due); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					break dispatch
+				}
+			}
+		}
+		select {
+		case work <- q:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	rep.Duration = time.Since(begin)
+	rep.Latency = reg.Snapshot().Histograms["loadgen.latency.seconds"]
+	return rep, ctx.Err()
+}

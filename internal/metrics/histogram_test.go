@@ -87,6 +87,108 @@ func TestHistogramObserve(t *testing.T) {
 	}
 }
 
+// bucketWidthAt returns the width of the bucket containing v — the maximum
+// error Quantile's linear interpolation can commit for values inside the
+// finite buckets.
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	lo := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return b - lo
+		}
+		lo = b
+	}
+	return math.Inf(1)
+}
+
+// TestHistogramQuantileUniform feeds a known uniform distribution and
+// requires every estimated quantile to land within one bucket width of the
+// true value — the estimator's accuracy contract.
+func TestHistogramQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogramBuckets("u", LatencyBuckets)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		// Deterministic uniform over (0, 1): true q-quantile is q.
+		h.Observe((float64(i) + 0.5) / n)
+	}
+	s := r.Snapshot().Histograms["u"]
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		got := s.Quantile(q)
+		width := bucketWidthAt(s.Bounds, q)
+		if math.Abs(got-q) > width {
+			t.Errorf("uniform p%g = %v, want %v ± bucket width %v", q*100, got, q, width)
+		}
+	}
+	if mean := s.Mean(); math.Abs(mean-0.5) > 1e-6 {
+		t.Errorf("uniform mean = %v, want 0.5", mean)
+	}
+}
+
+// TestHistogramQuantileExponential does the same for a heavy-ish-tailed
+// exponential distribution (the shape request latencies actually take): the
+// true quantile of Exp(λ) is -ln(1-q)/λ.
+func TestHistogramQuantileExponential(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogramBuckets("e", LatencyBuckets)
+	const (
+		n      = 200000
+		lambda = 100.0 // mean 10ms — a plausible service latency
+	)
+	for i := 0; i < n; i++ {
+		// Inverse-CDF sampling on a deterministic uniform grid.
+		u := (float64(i) + 0.5) / n
+		h.Observe(-math.Log(1-u) / lambda)
+	}
+	s := r.Snapshot().Histograms["e"]
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		truth := -math.Log(1-q) / lambda
+		got := s.Quantile(q)
+		width := bucketWidthAt(s.Bounds, truth)
+		if math.Abs(got-truth) > width {
+			t.Errorf("exp p%g = %v, want %v ± bucket width %v", q*100, got, truth, width)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone: quantile estimates must never decrease as q
+// grows, including across the +Inf overflow clamp.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetHistogramBuckets("m", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.004, 0.004, 0.05, 0.5, 3, 40} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["m"]
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q = %v", q, got, prev)
+		}
+		prev = got
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want clamp to last finite bound 1", got)
+	}
+}
+
+func TestLatencyBucketsSane(t *testing.T) {
+	if len(LatencyBuckets) == 0 {
+		t.Fatal("no latency buckets")
+	}
+	prev := 0.0
+	for _, b := range LatencyBuckets {
+		if b <= prev {
+			t.Fatalf("bounds not strictly increasing at %v (prev %v)", b, prev)
+		}
+		prev = b
+	}
+	if LatencyBuckets[0] > 0.0001 || prev < 10 {
+		t.Errorf("latency range [%v, %v] does not cover 100µs..10s", LatencyBuckets[0], prev)
+	}
+}
+
 func TestHistogramFirstRegistrationWins(t *testing.T) {
 	r := NewRegistry()
 	h := r.GetHistogramBuckets("h", []float64{1, 2})

@@ -101,6 +101,15 @@ var DefaultBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
 }
 
+// LatencyBuckets are histogram bounds for request-latency histograms (in
+// seconds): roughly exponential from 100µs to 10s, fine enough around the
+// single-digit-millisecond range that p99/p999 of an in-process HTTP service
+// resolve to sub-bucket-width error instead of collapsing into one bucket.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Histogram counts observations into cumulative buckets with fixed upper
 // bounds, plus a total count and sum. Observations are lock-free; bounds are
 // immutable after creation.

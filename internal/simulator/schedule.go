@@ -1,0 +1,55 @@
+package simulator
+
+import (
+	"sort"
+	"time"
+
+	"smartsra/internal/clf"
+	"smartsra/internal/webgraph"
+)
+
+// Request is one page fetch a simulated user would issue against a live
+// server: who, what, navigated-from-where, and when. A schedule is the
+// real-time replay form of a Result — the same request sequence Log renders
+// as a finished access log, but addressed to an HTTP client instead of a
+// file.
+type Request struct {
+	// User is the simulated client identity (the agent's synthetic IP).
+	User string
+	// URI is the page path to fetch.
+	URI string
+	// Referer is the URI navigated from, or clf.NoField for session-opening
+	// requests.
+	Referer string
+	// At is the simulated absolute time of the request.
+	At time.Time
+}
+
+// Schedule flattens the run into one globally time-ordered request sequence
+// (ties broken by agent order, then per-agent log position — the same order
+// Log uses), ready for a load generator to replay against a running server.
+func (r *Result) Schedule(g *webgraph.Graph) []Request {
+	n := 0
+	for _, st := range r.Streams {
+		n += len(st.Entries)
+	}
+	reqs := make([]Request, 0, n)
+	for i, st := range r.Streams {
+		for j, e := range st.Entries {
+			req := Request{
+				User:    st.User,
+				URI:     g.Label(e.Page),
+				Referer: clf.NoField,
+				At:      e.Time,
+			}
+			if ref := r.Referrers[i][j]; g.Valid(ref) {
+				req.Referer = g.Label(ref)
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		return reqs[i].At.Before(reqs[j].At)
+	})
+	return reqs
+}

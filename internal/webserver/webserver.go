@@ -143,11 +143,33 @@ func (s *WriterSink) Err() error {
 	return s.err
 }
 
+// LogOptions configures AccessLogWith.
+type LogOptions struct {
+	// Now is the request clock; nil means time.Now.
+	Now func() time.Time
+	// TrustForwardedFor logs the first address of an X-Forwarded-For header
+	// as the client host when the header is present. Enable it only when a
+	// trusted proxy (or a load generator replaying many simulated users over
+	// one loopback connection pool) sets the header; for directly exposed
+	// servers the header is client-controlled and must stay untrusted.
+	TrustForwardedFor bool
+}
+
 // AccessLog wraps an http.Handler with CLF access logging: every request
 // produces one clf.Record on the sink, with the client IP, timestamp,
 // request line, status, byte count, Referer, and User-Agent (the last two
 // populate combined-format rendering only).
 func AccessLog(next http.Handler, sink LogSink, now func() time.Time) http.Handler {
+	return AccessLogWith(next, sink, LogOptions{Now: now})
+}
+
+// AccessLogWith is AccessLog with options. Every client-controlled field
+// (host, URI, protocol, method, Referer, User-Agent) passes through
+// clf.SanitizeRecord before reaching the sink, so a hostile request cannot
+// inject log lines, tear CLF framing, or blow a field past the line cap —
+// the written line always re-parses to the logged record.
+func AccessLogWith(next http.Handler, sink LogSink, opts LogOptions) http.Handler {
+	now := opts.Now
 	if now == nil {
 		now = time.Now
 	}
@@ -159,8 +181,18 @@ func AccessLog(next http.Handler, sink LogSink, now func() time.Time) http.Handl
 		if h, _, err := net.SplitHostPort(host); err == nil {
 			host = h
 		}
+		if opts.TrustForwardedFor {
+			if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+				if i := strings.IndexByte(fwd, ','); i >= 0 {
+					fwd = fwd[:i]
+				}
+				if fwd = strings.TrimSpace(fwd); fwd != "" {
+					host = fwd
+				}
+			}
+		}
 		uri := r.URL.RequestURI()
-		sink.Record(clf.Record{
+		sink.Record(clf.SanitizeRecord(clf.Record{
 			Host:      host,
 			Ident:     "-",
 			AuthUser:  "-",
@@ -172,7 +204,7 @@ func AccessLog(next http.Handler, sink LogSink, now func() time.Time) http.Handl
 			Bytes:     cw.bytes,
 			Referer:   headerOrDash(r.Header.Get("Referer")),
 			UserAgent: headerOrDash(r.Header.Get("User-Agent")),
-		})
+		}))
 	})
 }
 
