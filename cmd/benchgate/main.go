@@ -34,10 +34,17 @@
 // regardless of core count.
 //
 // A cmd/loadgen JSON report (tool == "loadgen") is gated on its own terms:
-// accepted + shed + errors must equal sent exactly, errors must be zero
-// (the smoke replays against a healthy local server), and the p99 latency
-// must be positive (the histogram measured something). Absolute latency
-// ceilings are advisory on a 1-core runner.
+// accepted + shed + rejected + errors must equal sent exactly, errors must
+// be zero (the smoke replays against a healthy local server), and the p99
+// latency must be positive (the histogram measured something). Absolute
+// latency ceilings are advisory on a 1-core runner.
+//
+// A chaos report (tool == "loadgen-chaos", from cmd/loadgen -chaos) is gated
+// on degradation-and-recovery invariants instead: exact conservation after
+// drop reconciliation (serve_requests == serve_enqueued with the ledger
+// drained), every adversary defended against (slowloris all server-closed,
+// floods 429'd, malformed refused), and admission metrics that actually
+// moved. These hold on any hardware and always gate.
 package main
 
 import (
@@ -124,8 +131,11 @@ func check(path string, min, slack float64, base map[string]any, regress float64
 	}
 	advisory := cores <= 1
 
-	if tool, _ := fields["tool"].(string); tool == "loadgen" {
+	switch tool, _ := fields["tool"].(string); tool {
+	case "loadgen":
 		return checkLoadgen(path, fields, advisory)
+	case "loadgen-chaos":
+		return checkLoadgenChaos(path, fields)
 	}
 
 	var speedups, rates []string
@@ -221,15 +231,18 @@ func checkLoadgen(path string, fields map[string]any, advisory bool) (bool, erro
 		}
 		*dst = v
 	}
+	// rejected (429, per-IP admission) is absent from reports written before
+	// admission control existed; treat missing as zero.
+	rejected, _ := fields["rejected"].(float64)
 
 	bad := false
-	if int64(accepted)+int64(shed)+int64(errs) != int64(sent) || sent <= 0 {
-		fmt.Printf("%s: accounting does not conserve: accepted %.0f + shed %.0f + errors %.0f != sent %.0f\n",
-			path, accepted, shed, errs, sent)
+	if int64(accepted)+int64(shed)+int64(rejected)+int64(errs) != int64(sent) || sent <= 0 {
+		fmt.Printf("%s: accounting does not conserve: accepted %.0f + shed %.0f + rejected %.0f + errors %.0f != sent %.0f\n",
+			path, accepted, shed, rejected, errs, sent)
 		bad = true
 	} else {
-		fmt.Printf("%s: accepted %.0f + shed %.0f + errors %.0f == sent %.0f ok\n",
-			path, accepted, shed, errs, sent)
+		fmt.Printf("%s: accepted %.0f + shed %.0f + rejected %.0f + errors %.0f == sent %.0f ok\n",
+			path, accepted, shed, rejected, errs, sent)
 	}
 	if errs != 0 {
 		fmt.Printf("%s: errors = %.0f against a healthy local server — the harness is broken\n", path, errs)
@@ -249,6 +262,126 @@ func checkLoadgen(path string, fields map[string]any, advisory bool) (bool, erro
 	default:
 		fmt.Printf("%s: p99_seconds = %.4f VIOLATES the <= %.2f ceiling\n", path, p99, loadgenP99Ceiling)
 		bad = true
+	}
+	return bad, nil
+}
+
+// checkLoadgenChaos gates a cmd/loadgen -chaos JSON report: a replay plus
+// the adversarial suite against a hardened serve, with the server's own
+// /debug/metrics scraped into the report after reconciliation settled.
+// Everything here holds on any hardware:
+//
+//   - client accounting conserves exactly, including the 429 bucket
+//   - the server's drop ledger drained (drops_pending == 0, nothing lost)
+//     and conservation is exact: serve_requests == serve_enqueued, with
+//     every recorded drop reconciled
+//   - each adversary actually ran and was defended against: slowloris
+//     connections all server-closed, flood requests classified with some
+//     429s, malformed lines all refused
+//   - admission metrics moved (the middleware was in the path, not bypassed)
+func checkLoadgenChaos(path string, fields map[string]any) (bool, error) {
+	num := func(key string) (float64, error) {
+		v, ok := fields[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("chaos report field %q missing or not a number", key)
+		}
+		return v, nil
+	}
+	need := map[string]float64{}
+	for _, key := range []string{
+		"sent", "accepted", "shed", "rejected", "errors",
+		"serve_requests", "serve_enqueued",
+		"drops_recorded", "drops_reconciled", "drops_pending", "drops_lost",
+		"admission_admitted", "admission_ip_limited",
+		"chaos_slow_opened", "chaos_slow_server_closed",
+		"chaos_flood_sent", "chaos_flood_accepted", "chaos_flood_rejected",
+		"chaos_flood_shed", "chaos_flood_errors",
+		"chaos_churn_cycles", "chaos_malformed_sent", "chaos_malformed_refused",
+	} {
+		v, err := num(key)
+		if err != nil {
+			return false, err
+		}
+		need[key] = v
+	}
+
+	bad := false
+	fail := func(format string, args ...any) {
+		fmt.Printf("%s: "+format+"\n", append([]any{path}, args...)...)
+		bad = true
+	}
+	ok := func(format string, args ...any) {
+		fmt.Printf("%s: "+format+"\n", append([]any{path}, args...)...)
+	}
+
+	// Client-side conservation, all four outcome buckets.
+	sum := need["accepted"] + need["shed"] + need["rejected"] + need["errors"]
+	if int64(sum) != int64(need["sent"]) || need["sent"] <= 0 {
+		fail("replay accounting does not conserve: %.0f classified of %.0f sent", sum, need["sent"])
+	} else {
+		ok("replay accounting conserves: accepted %.0f + shed %.0f + rejected %.0f + errors %.0f == sent %.0f",
+			need["accepted"], need["shed"], need["rejected"], need["errors"], need["sent"])
+	}
+
+	// Server-side conservation after reconciliation — the whole point.
+	switch {
+	case need["drops_pending"] != 0:
+		fail("drop ledger never drained: %.0f records still pending", need["drops_pending"])
+	case need["drops_lost"] != 0:
+		fail("%.0f dropped records lost without a rotation", need["drops_lost"])
+	case need["serve_requests"] != need["serve_enqueued"]:
+		fail("conservation violated after reconciliation: serve_requests %.0f != serve_enqueued %.0f",
+			need["serve_requests"], need["serve_enqueued"])
+	case need["drops_reconciled"] != need["drops_recorded"]:
+		fail("reconciled %.0f of %.0f recorded drops with pending at 0",
+			need["drops_reconciled"], need["drops_recorded"])
+	default:
+		ok("conservation exact: serve_requests %.0f == serve_enqueued %.0f (%.0f drops reconciled, 0 pending, 0 lost)",
+			need["serve_requests"], need["serve_enqueued"], need["drops_recorded"])
+	}
+
+	// Each adversary must have run AND been defended against — a chaos run
+	// that attacked nothing would pass every conservation check vacuously.
+	if need["chaos_slow_opened"] <= 0 {
+		fail("slowloris never connected — the adversary did not run")
+	} else if need["chaos_slow_server_closed"] != need["chaos_slow_opened"] {
+		fail("server closed %.0f of %.0f slowloris connections — the read-header deadline is not holding",
+			need["chaos_slow_server_closed"], need["chaos_slow_opened"])
+	} else {
+		ok("slowloris defense held: %.0f/%.0f connections server-closed",
+			need["chaos_slow_server_closed"], need["chaos_slow_opened"])
+	}
+	floodSum := need["chaos_flood_accepted"] + need["chaos_flood_rejected"] +
+		need["chaos_flood_shed"] + need["chaos_flood_errors"]
+	if need["chaos_flood_sent"] <= 0 {
+		fail("flood never fired — the adversary did not run")
+	} else if int64(floodSum) != int64(need["chaos_flood_sent"]) {
+		fail("flood classification leaks: %.0f classified of %.0f sent", floodSum, need["chaos_flood_sent"])
+	} else if need["chaos_flood_rejected"] <= 0 {
+		fail("no flood request was ever 429'd — per-IP admission is not limiting")
+	} else {
+		ok("flood contained: %.0f sent, %.0f rejected (429), %.0f admitted",
+			need["chaos_flood_sent"], need["chaos_flood_rejected"], need["chaos_flood_accepted"])
+	}
+	if need["chaos_malformed_sent"] <= 0 {
+		fail("malformed adversary did not run")
+	} else if need["chaos_malformed_refused"] != need["chaos_malformed_sent"] {
+		fail("only %.0f of %.0f malformed request lines refused",
+			need["chaos_malformed_refused"], need["chaos_malformed_sent"])
+	} else {
+		ok("malformed lines all refused: %.0f/%.0f", need["chaos_malformed_refused"], need["chaos_malformed_sent"])
+	}
+	if need["chaos_churn_cycles"] <= 0 {
+		fail("connection churn did not run")
+	}
+
+	// Admission metrics must have moved: the middleware was in the path.
+	if need["admission_admitted"] <= 0 || need["admission_ip_limited"] <= 0 {
+		fail("admission metrics flat (admitted %.0f, ip_limited %.0f) — the gate was bypassed or disabled",
+			need["admission_admitted"], need["admission_ip_limited"])
+	} else {
+		ok("admission exercised: %.0f admitted, %.0f ip-limited",
+			need["admission_admitted"], need["admission_ip_limited"])
 	}
 	return bad, nil
 }

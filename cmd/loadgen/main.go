@@ -8,13 +8,19 @@
 //
 //	loadgen -url http://127.0.0.1:8080 -topo topology.json \
 //	        [-agents 500] [-seed 1] [-speedup 60] [-workers 8] \
-//	        [-duration 0] [-json report.json]
+//	        [-duration 0] [-chaos] [-json report.json]
 //
 // -speedup compresses simulated time (60 means one simulated minute per real
 // second); 0 disables pacing and issues requests as fast as the workers can,
 // which is the overload configuration. The process exits 0 as long as the
 // replay itself ran; shed responses are data, not failure — gate the JSON
 // report with benchgate.
+//
+// -chaos runs the adversarial suite (slowloris header-drippers, per-IP
+// floods, connection churn, malformed request lines) concurrently with the
+// normal replay, then scrapes the server's /debug/metrics so the JSON report
+// (tool "loadgen-chaos") carries both the client-side classification and the
+// server's own conservation and admission counters for benchgate.
 package main
 
 import (
@@ -48,11 +54,12 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent in-flight requests")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		duration = flag.Duration("duration", 0, "stop the replay after this wall-clock time (0 = run the whole schedule)")
+		chaos    = flag.Bool("chaos", false, "run the adversarial suite (slowloris, floods, churn, malformed) alongside the replay and scrape the server's /debug/metrics into the report")
 		jsonPath = flag.String("json", "", "write the report as flat JSON to this file (benchgate-compatible)")
 	)
 	flag.Parse()
 	if err := run(*url, *topoPath, *agents, *seed, *stp, *lpp, *nip,
-		*window, *speedup, *workers, *timeout, *duration, *jsonPath); err != nil {
+		*window, *speedup, *workers, *timeout, *duration, *chaos, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -60,7 +67,7 @@ func main() {
 
 func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
 	window time.Duration, speedup float64, workers int,
-	timeout, duration time.Duration, jsonPath string) error {
+	timeout, duration time.Duration, chaos bool, jsonPath string) error {
 	if url == "" || topoPath == "" {
 		return fmt.Errorf("both -url and -topo are required")
 	}
@@ -99,6 +106,20 @@ func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
 		defer cancel()
 	}
 
+	// The chaos suite attacks the same server while the legitimate replay
+	// runs, so admission control is exercised under real mixed traffic.
+	var chaosRep loadgen.ChaosReport
+	var chaosErr error
+	chaosDone := make(chan struct{})
+	if chaos {
+		go func() {
+			defer close(chaosDone)
+			chaosRep, chaosErr = loadgen.RunChaos(ctx, loadgen.ChaosConfig{BaseURL: url})
+		}()
+	} else {
+		close(chaosDone)
+	}
+
 	reg := metrics.NewRegistry()
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:  url,
@@ -112,6 +133,13 @@ func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
 		return err
 	}
 	fmt.Printf("replay:   %s\n", rep)
+	<-chaosDone
+	if chaosErr != nil {
+		return chaosErr
+	}
+	if chaos {
+		fmt.Printf("chaos:    %s\n", chaosRep)
+	}
 
 	if jsonPath != "" {
 		fields := rep.Fields()
@@ -120,6 +148,15 @@ func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
 		fields["agents"] = agents
 		fields["speedup_factor"] = speedup
 		fields["workers"] = workers
+		if chaos {
+			fields["tool"] = "loadgen-chaos"
+			for k, v := range chaosRep.Fields() {
+				fields[k] = v
+			}
+			if err := mergeServeMetrics(fields, url); err != nil {
+				return err
+			}
+		}
 		data, err := json.MarshalIndent(fields, "", "  ")
 		if err != nil {
 			return err
@@ -128,6 +165,49 @@ func run(url, topoPath string, agents int, seed int64, stp, lpp, nip float64,
 			return err
 		}
 		fmt.Printf("report:   %s\n", jsonPath)
+	}
+	return nil
+}
+
+// mergeServeMetrics scrapes the server's /debug/metrics into fields under
+// flat benchgate-friendly keys. It first polls until drop reconciliation has
+// drained (serve.drops.pending == 0 and the conservation identity
+// serve.requests == serve.ingest.enqueued + serve.drops.lost holds), because
+// the whole point of the chaos gate is to assert the settled state; after
+// 30s it records whatever the server reports — a stuck ledger should fail
+// the gate loudly, not hide behind a scrape that gave up silently.
+func mergeServeMetrics(fields map[string]any, url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(30 * time.Second)
+	var m map[string]int64
+	for {
+		var err error
+		m, err = loadgen.ScrapeMetrics(ctx, url)
+		if err != nil {
+			return err
+		}
+		settled := m["serve.drops.pending"] == 0 &&
+			m["serve.requests"] == m["serve.ingest.enqueued"]+m["serve.drops.lost"]
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	for k, name := range map[string]string{
+		"serve_requests":          "serve.requests",
+		"serve_enqueued":          "serve.ingest.enqueued",
+		"serve_shed":              "serve.shed",
+		"drops_recorded":          "serve.drops.recorded",
+		"drops_reconciled":        "serve.drops.reconciled",
+		"drops_pending":           "serve.drops.pending",
+		"drops_lost":              "serve.drops.lost",
+		"admission_admitted":      `serve.admission.requests{outcome="admitted"}`,
+		"admission_ip_limited":    `serve.admission.requests{outcome="ip_limited"}`,
+		"admission_inflight_shed": `serve.admission.requests{outcome="inflight_shed"}`,
+		"conns_accepted":          "serve.conns.accepted",
+	} {
+		fields[k] = m[name]
 	}
 	return nil
 }

@@ -88,6 +88,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -114,7 +115,24 @@ var (
 	metricSessionWriteErrors = metrics.GetCounter("serve.session_write_errors")
 	// metricLatency is the server-side request latency distribution.
 	metricLatency = metrics.Default.GetHistogramBuckets("serve.request.seconds", metrics.LatencyBuckets)
+	// metricConnsAccepted / metricConnsOpen track TCP connections, not
+	// requests — under slowloris or connection churn they diverge sharply
+	// from serve.requests, which is exactly the signal that matters.
+	metricConnsAccepted = metrics.GetCounter("serve.conns.accepted")
+	metricConnsOpen     = metrics.GetGauge("serve.conns.open")
 )
+
+// connStateMetrics is the http.Server ConnState hook feeding the
+// connection-level metrics.
+func connStateMetrics(_ net.Conn, st http.ConnState) {
+	switch st {
+	case http.StateNew:
+		metricConnsAccepted.Inc()
+		metricConnsOpen.Add(1)
+	case http.StateClosed, http.StateHijacked:
+		metricConnsOpen.Add(-1)
+	}
+}
 
 type options struct {
 	topoPath    string
@@ -123,6 +141,7 @@ type options struct {
 	combined    bool
 	sessPath    string
 	shards      plan.Knob
+	sessionGap  time.Duration
 	expireEvery time.Duration
 	backfill    string
 	workers     plan.Knob
@@ -133,6 +152,14 @@ type options struct {
 	queueCap    int
 	shedMode    string
 	trustFwd    bool
+
+	maxInflight       int
+	ipRate            float64
+	ipBurst           int
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+	reconcileEvery    time.Duration
 }
 
 func main() {
@@ -148,6 +175,7 @@ func main() {
 	flag.StringVar(&o.logPath, "log", "", "access log file (default: stderr)")
 	flag.BoolVar(&o.combined, "combined", false, "write Combined Log Format")
 	flag.StringVar(&o.sessPath, "sessions", "", "sessionize traffic live, appending finalized sessions to this file")
+	flag.DurationVar(&o.sessionGap, "session-gap", 0, "burst gap ρ: a user quiet this long ends their burst (0 = the paper's 10m; offline replays must use the same value)")
 	flag.DurationVar(&o.expireEvery, "expire-every", 30*time.Second, "how often to expire quiet users' bursts for -sessions")
 	flag.StringVar(&o.backfill, "backfill", "", "existing access logs to stream through the sessionizer before serving: paths/globs, gzip ok (needs -sessions)")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file (needs -log and -sessions)")
@@ -155,6 +183,13 @@ func main() {
 	flag.IntVar(&o.queueCap, "ingest-queue", 1024, "bounded ingest queue between the request path and the sessionizer (0 = synchronous)")
 	flag.StringVar(&o.shedMode, "shed-mode", shed503, "what a full ingest queue does: 503 (refuse request, keep log == tail input) or drop-count (serve and log, drop from live tail)")
 	flag.BoolVar(&o.trustFwd, "trust-forwarded", false, "log the first X-Forwarded-For address as the client (trusted proxies and loadgen only)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "admission control: max concurrently handled requests, 503 above it (0 = unlimited)")
+	flag.Float64Var(&o.ipRate, "ip-rate", 0, "admission control: per-client sustained requests/second, 429 above it (0 = unlimited; keyed like the access log, so -trust-forwarded applies)")
+	flag.IntVar(&o.ipBurst, "ip-burst", 0, "admission control: per-client burst budget before -ip-rate applies (0 = round(-ip-rate), min 1)")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "drop connections that take longer than this to send request headers (slowloris defense)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "drop connections whose full request takes longer than this to read")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 60*time.Second, "close keep-alive connections idle longer than this")
+	flag.DurationVar(&o.reconcileEvery, "reconcile-every", 2*time.Second, "how often to backfill drop-count-shed records from the log while idle (needs -shed-mode drop-count)")
 	flag.Parse()
 	if o.topoPath == "" {
 		flag.Usage()
@@ -215,8 +250,16 @@ func run(o options) error {
 			return err
 		}
 		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
 		s.logFile = f
-		out = f
+		// Count bytes as they reach the file so the drop ledger can record
+		// each shed record's exact span (the per-record flush under ingestMu
+		// makes before/after counts bracket exactly one record).
+		s.logCount = &countingFile{w: f, total: info.Size()}
+		out = s.logCount
 	}
 	s.sink = webserver.NewWriterSink(newLogWriter(out, o.combined))
 
@@ -251,7 +294,7 @@ func run(o options) error {
 			fmt.Fprintln(os.Stderr, "serve:", n)
 		}
 		fmt.Fprintln(os.Stderr, "serve: plan:", pl)
-		st, err := core.NewShardedTail(core.Config{Graph: g}.WithPlan(pl), 0, pl.Shards)
+		st, err := core.NewShardedTail(core.Config{Graph: g}.WithPlan(pl), o.sessionGap, pl.Shards)
 		if err != nil {
 			return err
 		}
@@ -270,6 +313,27 @@ func run(o options) error {
 		s.tee, err = newSessionTee(st, sf, dl)
 		if err != nil {
 			return err
+		}
+
+		if o.queueCap > 0 && o.shedMode == shed503 {
+			// Journal timed-expiry cuts beside the session file: in 503 mode
+			// the tail's input is a prefix-replay of the log, so replaying the
+			// log with these cuts reproduces the live emission byte for byte
+			// even with -expire-every on. Without a checkpoint the tail starts
+			// fresh and old cut indices are meaningless, so truncate.
+			mode := os.O_CREATE | os.O_RDWR
+			if o.ckptPath == "" {
+				mode |= os.O_TRUNC
+			}
+			cf, err := os.OpenFile(o.sessPath+".cuts", mode, 0o644)
+			if err != nil {
+				return err
+			}
+			defer cf.Close()
+			s.cutsFile = cf
+		}
+		if o.queueCap > 0 && o.shedMode == shedDropCount && o.logPath != "" {
+			s.drops = &dropLedger{}
 		}
 
 		if o.ckptPath != "" {
@@ -305,6 +369,20 @@ func run(o options) error {
 	if s.queue != nil && s.shedMode == shed503 {
 		root = s.shedGate(site)
 	}
+	// Admission control sits outside the queue gate: a flooding client is
+	// turned away (429) before it can even contend for a queue slot, and the
+	// in-flight cap bounds handler concurrency before any work happens.
+	// /debug/metrics stays outside both gates — observability must survive
+	// the very overload it reports on.
+	if o.maxInflight > 0 || o.ipRate > 0 {
+		adm := webserver.NewAdmission(webserver.AdmissionConfig{
+			MaxInFlight:       o.maxInflight,
+			PerIPRate:         o.ipRate,
+			PerIPBurst:        o.ipBurst,
+			TrustForwardedFor: o.trustFwd,
+		})
+		root = adm.Wrap(root)
+	}
 	mux.Handle("/", timed(root))
 
 	// Bind explicitly (rather than ListenAndServe) so :0 works: the soak
@@ -339,6 +417,10 @@ func run(o options) error {
 		wg.Add(1)
 		go s.checkpointLoop(o.ckptEvery, done, &wg)
 	}
+	if s.drops != nil && o.reconcileEvery > 0 {
+		wg.Add(1)
+		go s.reconcileLoop(o.reconcileEvery, done, &wg)
+	}
 
 	// The rotation listener stops through done like every other background
 	// loop and is awaited in wg.Wait — it must not outlive the files it
@@ -362,8 +444,16 @@ func run(o options) error {
 
 	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop accepting,
 	// drain the ingest queue, stop the background loops, and only then flush
-	// the tail and take the final checkpoint.
-	srv := &http.Server{Handler: mux}
+	// the tail and take the final checkpoint. The read deadlines are the
+	// slow-client defense: a connection that trickles its headers or body
+	// (slowloris) is cut off instead of pinning a handler goroutine forever.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+		ConnState:         connStateMetrics,
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
@@ -382,6 +472,12 @@ func run(o options) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		shutdownErr := srv.Shutdown(ctx)
+		if s.drops != nil && s.queue != nil {
+			// Last chance to settle the conservation accounting in-process:
+			// no new traffic can arrive, so drain the drop ledger into the
+			// still-running drainer before stopping the queue.
+			s.reconcileFinal(5 * time.Second)
+		}
 		settled := true
 		if s.queue != nil {
 			settled = s.queue.stop(5*time.Second, s.drainRecords)
@@ -433,7 +529,8 @@ func (s *server) shedGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.queue.tryReserve() {
 			metricShed.Inc()
-			w.Header().Set("Retry-After", "1")
+			// Jittered so the shed cohort doesn't re-thunder in lockstep.
+			w.Header().Set("Retry-After", strconv.Itoa(webserver.RetryAfterSeconds()))
 			http.Error(w, "overloaded: ingest queue full", http.StatusServiceUnavailable)
 			return
 		}
@@ -462,12 +559,26 @@ type server struct {
 	g        *webgraph.Graph
 	combined bool
 
-	logPath string
-	logFile *os.File // nil when logging to stderr
-	sink    *webserver.WriterSink
+	logPath  string
+	logFile  *os.File      // nil when logging to stderr
+	logCount *countingFile // counts log bytes for drop spans; nil on stderr
+	sink     *webserver.WriterSink
 
 	sessPath string
 	tee      *sessionTee // nil without -sessions
+
+	// drops is the drop-count reconciliation ledger; nil outside
+	// {-shed-mode drop-count, -log, -sessions, queue > 0}.
+	drops *dropLedger
+
+	// cutsFile journals timed-expiry cuts (sessPath + ".cuts") so an offline
+	// replay can reproduce periodic Expire emission exactly; nil unless the
+	// live tail's input is a prefix-replay of the log (503 mode with a
+	// queue), which is when byte-identity is claimed. cutSeq is the last
+	// journaled (or restored) cut's sequence number; both are guarded by mu
+	// (cuts are written under the exclusive lock).
+	cutsFile *os.File
+	cutSeq   int64
 
 	// ingestMu serializes {log append, log flush, queue enqueue} so queue
 	// order is exactly log order: the live tail's input is then a
@@ -516,6 +627,7 @@ func (s *server) recoverFromCheckpoint() error {
 		return err
 	}
 	var logOff, sinkOff int64
+	restored := false
 	if ck != nil {
 		switch {
 		case ck.LogPath != "" && ck.LogPath != s.logPath:
@@ -529,6 +641,7 @@ func (s *server) recoverFromCheckpoint() error {
 				fmt.Fprintln(os.Stderr, "serve: checkpoint rejected, replaying full log:", err)
 			} else {
 				logOff, sinkOff = ck.LogOffset, ck.SinkOffset
+				restored = true
 			}
 		}
 	}
@@ -536,16 +649,62 @@ func (s *server) recoverFromCheckpoint() error {
 		return err
 	}
 
+	// Load the cut journal: cuts newer than the snapshot (Seq > CutSeq) are
+	// re-applied during replay at their recorded record boundaries, so the
+	// replayed suffix interleaves timed-expiry emission exactly as the
+	// crashed run did. New cuts continue the journal's numbering.
+	var pendingCuts []core.ExpiryCut
+	if s.cutsFile != nil {
+		if _, err := s.cutsFile.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		allCuts, err := core.ReadCuts(s.cutsFile)
+		if err != nil {
+			return fmt.Errorf("read cut journal: %w", err)
+		}
+		if _, err := s.cutsFile.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+		var appliedSeq int64
+		if restored {
+			appliedSeq = ck.CutSeq
+		}
+		pendingCuts = core.CutsAfter(allCuts, appliedSeq)
+		for _, c := range allCuts {
+			if c.Seq > s.cutSeq {
+				s.cutSeq = c.Seq
+			}
+		}
+		if restored && s.cutSeq < ck.CutSeq {
+			fmt.Fprintf(os.Stderr, "serve: cut journal ends at seq %d but checkpoint recorded %d (journal lost?); continuing\n",
+				s.cutSeq, ck.CutSeq)
+			s.cutSeq = ck.CutSeq
+		}
+	}
+	if s.drops != nil && restored {
+		s.drops.restore(ck.DropSpans, logOff)
+	}
+
 	// Replay through the zero-copy source reader (mmap for the on-disk
 	// log), checkpointing as we go so a crash during a long recovery does
-	// not restart it from scratch.
-	malformed, err := s.tee.st.IngestFiles([]string{s.logPath}, clf.FilePos{Offset: logOff}, s.tee.emit,
-		func(pos clf.FilePos) error {
-			s.ckpt.MaybeSave(func() *checkpoint.Checkpoint {
-				return s.buildCheckpoint(pos.Offset)
-			})
-			return nil
+	// not restart it from scratch. With pending cuts the mid-replay
+	// checkpoints are skipped — a snapshot taken between cuts cannot yet
+	// say how many of them it contains — so that (rare) recovery shape
+	// restarts from the previous checkpoint if interrupted.
+	base := int64(0)
+	if restored {
+		base = int64(ck.Tail.Stats.Records)
+	}
+	progress := func(pos clf.FilePos) error {
+		s.ckpt.MaybeSave(func() *checkpoint.Checkpoint {
+			return s.buildCheckpoint(pos.Offset)
 		})
+		return nil
+	}
+	if len(pendingCuts) > 0 {
+		progress = nil
+	}
+	malformed, err := s.tee.st.IngestFilesCuts([]string{s.logPath}, clf.FilePos{Offset: logOff}, base, pendingCuts, s.tee.emit, progress)
 	if err != nil {
 		return fmt.Errorf("replay %s: %w", s.logPath, err)
 	}
@@ -594,12 +753,17 @@ func (s *server) buildCheckpoint(logOff int64) *checkpoint.Checkpoint {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve: session file sync:", err)
 	}
-	return &checkpoint.Checkpoint{
+	ck := &checkpoint.Checkpoint{
 		LogOffset:  logOff,
 		LogPath:    s.logPath,
 		SinkOffset: sinkOff,
 		Tail:       s.tee.st.Snapshot(),
+		CutSeq:     s.cutSeq,
 	}
+	if s.drops != nil {
+		ck.DropSpans = s.drops.snapshot()
+	}
+	return ck
 }
 
 // saveCheckpointLocked drains the ingest queue, then flushes and syncs the
@@ -618,6 +782,13 @@ func (s *server) saveCheckpointLocked() error {
 	}
 	if err := s.logFile.Sync(); err != nil {
 		return err
+	}
+	if s.cutsFile != nil {
+		// The snapshot's CutSeq refers into the journal; make sure the
+		// journal is at least as durable as the checkpoint that cites it.
+		if err := s.cutsFile.Sync(); err != nil {
+			return err
+		}
 	}
 	info, err := s.logFile.Stat()
 	if err != nil {
@@ -647,10 +818,16 @@ func (s *server) checkpointLoop(every time.Duration, done chan struct{}, wg *syn
 }
 
 // expireLoop periodically finalizes quiet users so a user who leaves still
-// gets their last session written. The shared lock keeps expire-emitted
-// sessions inside the checkpoint consistency cut; the stoppable ticker is
-// torn down (and awaited) before the final flush, so a late Expire can
-// never interleave with it.
+// gets their last session written. Each tick freezes ingestion at an exact
+// record boundary — exclusive lock (no request is mid-log-append), then the
+// queue barrier (every logged record is in the tail) — before running
+// Expire. That boundary is what makes timed expiry replayable: when the cut
+// journal is active, a tick that emitted sessions is recorded as (seq,
+// tail-record-count, cutoff), and an offline replay applying Expire(cutoff)
+// after exactly that many records reproduces the live emission byte for
+// byte. Ticks that emit nothing are not journaled — an empty Expire changes
+// no output-relevant state. The stoppable ticker is torn down (and awaited)
+// before the final flush, so a late Expire can never interleave with it.
 func (s *server) expireLoop(every time.Duration, done chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
 	ticker := time.NewTicker(every)
@@ -658,9 +835,23 @@ func (s *server) expireLoop(every time.Duration, done chan struct{}, wg *sync.Wa
 	for {
 		select {
 		case <-ticker.C:
-			s.mu.RLock()
-			s.tee.emit(s.tee.st.Expire(time.Now()))
-			s.mu.RUnlock()
+			s.mu.Lock()
+			if s.queue != nil {
+				s.queue.barrier()
+			}
+			now := time.Now()
+			out := s.tee.st.Expire(now)
+			if len(out) > 0 {
+				s.tee.emit(out)
+				if s.cutsFile != nil {
+					s.cutSeq++
+					cut := core.ExpiryCut{Seq: s.cutSeq, Records: int64(s.tee.st.Stats().Records), At: now}
+					if err := core.AppendCut(s.cutsFile, cut); err != nil {
+						fmt.Fprintln(os.Stderr, "serve: cut journal:", err)
+					}
+				}
+			}
+			s.mu.Unlock()
 		case <-done:
 			return
 		}
@@ -687,10 +878,26 @@ func (s *server) rotate() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve: reopen log:", err)
 		} else {
-			old := s.logFile
-			s.logFile = f
-			s.sink.Reset(newLogWriter(f, s.combined))
-			old.Close()
+			info, statErr := f.Stat()
+			if statErr != nil {
+				fmt.Fprintln(os.Stderr, "serve: reopen log stat:", statErr)
+				f.Close()
+			} else {
+				old := s.logFile
+				s.logFile = f
+				s.logCount = &countingFile{w: f, total: info.Size()}
+				s.sink.Reset(newLogWriter(s.logCount, s.combined))
+				old.Close()
+				if s.drops != nil {
+					// Pending drop spans reference byte offsets in the
+					// rotated-away file; reading those offsets from the fresh
+					// file would backfill the wrong records. Count them lost
+					// (the rotated log still holds them for offline recovery).
+					if lost := s.drops.flushLost(); lost > 0 {
+						fmt.Fprintf(os.Stderr, "serve: rotation orphaned %d unreconciled dropped records (recover them offline from the rotated log)\n", lost)
+					}
+				}
+			}
 		}
 	}
 	if s.tee != nil {
@@ -847,6 +1054,10 @@ func (f flushAfter) Record(r clf.Record) {
 	defer f.s.mu.RUnlock()
 	metricRequests.Inc()
 	f.s.ingestMu.Lock()
+	var spanStart int64
+	if f.s.logCount != nil {
+		spanStart = f.s.logCount.total
+	}
 	f.s.sink.Record(r)
 	err := f.s.sink.Flush()
 	if q := f.s.queue; q != nil {
@@ -857,6 +1068,11 @@ func (f flushAfter) Record(r clf.Record) {
 				q.enqueue(r)
 			} else {
 				metricShed.Inc()
+				if f.s.drops != nil && err == nil {
+					// The record's exact bytes in the log: the per-record
+					// flush above just pushed them through the counter.
+					f.s.drops.record(spanStart, f.s.logCount.total)
+				}
 			}
 		} else {
 			// 503 mode: shedGate reserved the slot before the request ran.

@@ -18,6 +18,15 @@ var (
 	// metricPending tracks reserved-but-not-yet-sessionized records — the
 	// queue's live occupancy.
 	metricPending = metrics.GetGauge("serve.ingest.pending")
+	// metricQueueDepth is the configured queue capacity, so dashboards can
+	// plot occupancy against the bound it sheds at.
+	metricQueueDepth = metrics.GetGauge("serve.ingest.queue_depth")
+	// metricReserveFailures counts tryReserve losses — every time the bound
+	// turned someone away, regardless of which shed mode handled it.
+	metricReserveFailures = metrics.GetCounter("serve.ingest.reserve_failures")
+	// metricBarrierWait is how long checkpoint/rotation barriers waited for
+	// the drainer to settle — the latency cost of a consistent cut.
+	metricBarrierWait = metrics.Default.GetHistogramBuckets("serve.ingest.barrier.seconds", metrics.LatencyBuckets)
 )
 
 // Shed modes for a full ingest queue.
@@ -66,6 +75,7 @@ func newIngestQueue(capacity int) *ingestQueue {
 		exited:   make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
+	metricQueueDepth.Set(int64(capacity))
 	return q
 }
 
@@ -75,6 +85,7 @@ func (q *ingestQueue) tryReserve() bool {
 	for {
 		p := q.pending.Load()
 		if p >= q.capacity {
+			metricReserveFailures.Inc()
 			return false
 		}
 		if q.pending.CompareAndSwap(p, p+1) {
@@ -112,11 +123,13 @@ func (q *ingestQueue) finish(n int) {
 // progress, so the wait terminates and the snapshot then observes log, tail,
 // and session file at one consistent cut.
 func (q *ingestQueue) barrier() {
+	start := time.Now()
 	q.mu.Lock()
 	for q.done < q.enq {
 		q.cond.Wait()
 	}
 	q.mu.Unlock()
+	metricBarrierWait.Observe(time.Since(start).Seconds())
 }
 
 // drain is the drainer goroutine body: it batches whatever is queued (up to

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -180,16 +181,20 @@ func TestShedGateExactCounts(t *testing.T) {
 	srv := httptest.NewServer(gate)
 	defer srv.Close()
 
-	codes := make(chan int, burst)
+	type result struct {
+		code       int
+		retryAfter string
+	}
+	codes := make(chan result, burst)
 	for i := 0; i < burst; i++ {
 		go func() {
 			resp, err := http.Get(srv.URL)
 			if err != nil {
-				codes <- -1
+				codes <- result{code: -1}
 				return
 			}
 			resp.Body.Close()
-			codes <- resp.StatusCode
+			codes <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
 		}()
 	}
 	// All capacity slots claimed, the rest shed, before anyone is released.
@@ -200,11 +205,17 @@ func TestShedGateExactCounts(t *testing.T) {
 	close(release)
 	var oks, unavailable int
 	for i := 0; i < burst; i++ {
-		switch <-codes {
+		r := <-codes
+		switch r.code {
 		case http.StatusOK:
 			oks++
 		case http.StatusServiceUnavailable:
 			unavailable++
+			// Every shed carries the jittered Retry-After within [1,3] so
+			// rejected clients don't re-thunder in lockstep.
+			if sec, err := strconv.Atoi(r.retryAfter); err != nil || sec < 1 || sec > 3 {
+				t.Fatalf("503 Retry-After %q outside [1,3]", r.retryAfter)
+			}
 		default:
 			t.Fatal("request neither served nor shed")
 		}

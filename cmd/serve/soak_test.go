@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -45,16 +46,51 @@ func TestMain(m *testing.M) {
 func soakChild() error {
 	dir := os.Getenv("SERVE_SOAK_DIR")
 	o := options{
-		topoPath:    filepath.Join(dir, "topology.json"),
-		addr:        os.Getenv("SERVE_SOAK_ADDR"),
-		logPath:     filepath.Join(dir, "access.log"),
-		sessPath:    filepath.Join(dir, "sessions.txt"),
-		ckptPath:    filepath.Join(dir, "state.ckpt"),
-		ckptEvery:   25 * time.Millisecond,
-		expireEvery: 0, // periodic expiry reorders emission; equivalence needs log order
+		topoPath:  filepath.Join(dir, "topology.json"),
+		addr:      os.Getenv("SERVE_SOAK_ADDR"),
+		logPath:   filepath.Join(dir, "access.log"),
+		sessPath:  filepath.Join(dir, "sessions.txt"),
+		ckptPath:  filepath.Join(dir, "state.ckpt"),
+		ckptEvery: 25 * time.Millisecond,
+		// Expiry defaults off here: the plain crash soak replays the log
+		// without a cut journal. TestLiveOfflineEquivalenceWithExpiry turns
+		// it on via SERVE_SOAK_EXPIRE and replays with the journaled cuts.
+		expireEvery: 0,
 		queueCap:    64,
 		shedMode:    shed503,
 		trustFwd:    true,
+	}
+	// Scenario knobs so the robustness tests reuse this one child.
+	if v := os.Getenv("SERVE_SOAK_GAP"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		o.sessionGap = d
+	}
+	if v := os.Getenv("SERVE_SOAK_EXPIRE"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		o.expireEvery = d
+	}
+	if v := os.Getenv("SERVE_SOAK_SHED_MODE"); v != "" {
+		o.shedMode = v
+	}
+	if v := os.Getenv("SERVE_SOAK_QUEUE"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		o.queueCap = n
+	}
+	if v := os.Getenv("SERVE_SOAK_RECONCILE"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		o.reconcileEvery = d
 	}
 	for name, dst := range map[string]*plan.Knob{
 		"shards": &o.shards, "workers": &o.workers,
@@ -83,12 +119,14 @@ func (p *soakProc) output() string {
 }
 
 // startServe launches the test binary as a serve child and waits until it is
-// accepting connections.
-func startServe(t *testing.T, dir, addr string) *soakProc {
+// accepting connections. extraEnv entries ("KEY=value") select scenario
+// knobs in soakChild.
+func startServe(t *testing.T, dir, addr string, extraEnv ...string) *soakProc {
 	t.Helper()
 	p := &soakProc{cmd: exec.Command(os.Args[0])}
 	p.cmd.Env = append(os.Environ(),
 		"SERVE_SOAK_CHILD=1", "SERVE_SOAK_DIR="+dir, "SERVE_SOAK_ADDR="+addr)
+	p.cmd.Env = append(p.cmd.Env, extraEnv...)
 	stdout, err := p.cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -47,6 +47,13 @@
 // checkpoint is detected and the run falls back to a full replay. Periodic
 // expiry composes with it: expired sessions go through the same offset
 // bookkeeping, so checkpoints always describe a consistent cut.
+//
+// -cuts replays a live serve run that used -expire-every: serve journals
+// every timed expiry as an exact record boundary into <sessions>.cuts, and
+// this flag applies those expiries at the same boundaries while replaying
+// the access log, so the offline output is byte-identical to the live
+// session stream. It needs -stream and a real -log file, and it replaces
+// wall-clock expiry entirely (combining it with -expire-every is an error).
 package main
 
 import (
@@ -74,9 +81,11 @@ type options struct {
 	noClean, statsOnly            bool
 	workers, shards, depth, batch plan.Knob
 	stream                        bool
+	sessionGap                    time.Duration
 	expireEvery                   time.Duration
 	sessPath, ckptPath            string
 	ckptEvery                     time.Duration
+	cutsPath                      string
 }
 
 func main() {
@@ -94,9 +103,11 @@ func main() {
 	flag.BoolVar(&o.noClean, "no-clean", false, "skip the standard data-cleaning filter")
 	flag.BoolVar(&o.statsOnly, "stats-only", false, "print statistics but not the sessions")
 	flag.BoolVar(&o.stream, "stream", false, "bounded-memory streaming ingestion: sessions print as they finalize, heap independent of log size")
+	flag.DurationVar(&o.sessionGap, "session-gap", 0, "burst gap ρ for -stream: a user quiet this long ends their burst (0 = the paper's 10m; match the serve run when replaying its log)")
 	flag.StringVar(&o.sessPath, "sessions", "", "write sessions to this file instead of stdout (required by -checkpoint)")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "crash-recovery checkpoint file for -stream (resume an interrupted run exactly)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 5*time.Second, "how often to snapshot state for -checkpoint")
+	flag.StringVar(&o.cutsPath, "cuts", "", "expiry-cut journal written by serve (<sessions>.cuts): replay its timed expiries at the exact record boundaries the live run used (needs -stream and a real -log file)")
 	flag.Parse()
 	o.expireEvery = *expireEvery
 	if o.topoPath == "" || o.logPath == "" {
@@ -132,6 +143,21 @@ func run(o options) error {
 		if o.logPath == "-" {
 			return fmt.Errorf("-checkpoint needs a real -log file (the resume offset seeks into it)")
 		}
+	}
+	if o.cutsPath != "" {
+		if !o.stream {
+			return fmt.Errorf("-cuts needs -stream (cuts replay against the streaming sessionizer)")
+		}
+		if o.logPath == "-" {
+			return fmt.Errorf("-cuts needs a real -log file (cut indices count records from the start of the log)")
+		}
+		if o.ckptPath != "" {
+			return fmt.Errorf("-cuts is incompatible with -checkpoint (serve's own recovery already replays cuts from its checkpoint)")
+		}
+		if o.expireEvery > 0 {
+			return fmt.Errorf("-cuts replaces wall-clock expiry with the journaled cut sequence; drop -expire-every")
+		}
+		o.expireEvery = -1 // force the wall-clock sweep off; cuts are the expiry
 	}
 	tf, err := os.Open(o.topoPath)
 	if err != nil {
@@ -197,10 +223,23 @@ func run(o options) error {
 		if expire < 0 {
 			expire = 0
 		}
-		if o.ckptPath != "" {
-			return runStreamCheckpointed(cfg, pl, expire, paths, o.sessPath, o.ckptPath, o.ckptEvery)
+		var cuts []core.ExpiryCut
+		if o.cutsPath != "" {
+			cf, err := os.Open(o.cutsPath)
+			if err != nil {
+				return err
+			}
+			cuts, err = core.ReadCuts(cf)
+			cf.Close()
+			if err != nil {
+				return fmt.Errorf("reading %s: %w", o.cutsPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "sessionize: replaying %d expiry cuts from %s\n", len(cuts), o.cutsPath)
 		}
-		return runStream(cfg, pl, expire, paths, o.statsOnly, o.sessPath)
+		if o.ckptPath != "" {
+			return runStreamCheckpointed(cfg, pl, o.sessionGap, expire, paths, o.sessPath, o.ckptPath, o.ckptEvery)
+		}
+		return runStream(cfg, pl, o.sessionGap, expire, paths, o.statsOnly, o.sessPath, cuts)
 	}
 	pipeline, err := core.NewPipeline(cfg)
 	if err != nil {
@@ -264,9 +303,14 @@ func startExpireLoop(every time.Duration, tick func(time.Time)) (stop func()) {
 // layer — mmap windows for plain files, pooled decode for gzip members;
 // nil paths reads stdin. With expire > 0 a background sweep also finalizes
 // users quiet for longer than the session gap, so sessions keep flowing
-// while input does.
-func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, paths []string, statsOnly bool, sessPath string) error {
-	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
+// while input does. A non-empty cuts sequence (from -cuts) replays serve's
+// journaled timed expiries at the exact record boundaries the live run froze
+// them at, making the output byte-identical to the live session stream even
+// when the server ran with -expire-every.
+func runStream(cfg core.Config, pl plan.Plan, rho, expire time.Duration, paths []string, statsOnly bool, sessPath string, cuts []core.ExpiryCut) error {
+	// Cut replay applies Expire inline in the delivery goroutine, so it
+	// needs no concurrent-safe tail; only the wall-clock sweep does.
+	st, err := core.NewSessionizer(cfg, rho, pl.Shards, expire > 0)
 	if err != nil {
 		return err
 	}
@@ -307,9 +351,12 @@ func runStream(cfg core.Config, pl plan.Plan, expire time.Duration, paths []stri
 		}
 	})
 	var malformed int
-	if paths == nil {
+	switch {
+	case paths == nil:
 		malformed, err = st.Ingest(bufio.NewReader(os.Stdin), sink)
-	} else {
+	case len(cuts) > 0:
+		malformed, err = st.IngestFilesCuts(paths, clf.FilePos{}, 0, cuts, sink, nil)
+	default:
 		malformed, err = st.IngestFiles(paths, clf.FilePos{}, sink, nil)
 	}
 	stopExpire()
@@ -367,8 +414,8 @@ func validateResume(ck *checkpoint.Checkpoint, paths []string) (clf.FilePos, str
 // sink mutex with the write and snapshot paths, so every checkpoint records
 // a consistent (log position, session offset, open bursts) cut even while
 // expiry is emitting.
-func runStreamCheckpointed(cfg core.Config, pl plan.Plan, expire time.Duration, paths []string, sessPath, ckptPath string, every time.Duration) error {
-	st, err := core.NewSessionizer(cfg, 0, pl.Shards, expire > 0)
+func runStreamCheckpointed(cfg core.Config, pl plan.Plan, rho, expire time.Duration, paths []string, sessPath, ckptPath string, every time.Duration) error {
+	st, err := core.NewSessionizer(cfg, rho, pl.Shards, expire > 0)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,31 @@ type Checkpoint struct {
 	// (degrade to full replay) instead of silently replaying the wrong
 	// file. Empty in pre-multi-file checkpoints, which skips the check.
 	LogPath string
+	// CutSeq is the sequence number of the last journaled expiry cut whose
+	// emission is already reflected in Tail and SinkOffset. Recovery
+	// re-applies only journal cuts with Seq > CutSeq during log replay,
+	// keeping timed-expiry emission replayable across a crash. Zero in
+	// checkpoints written before expiry cuts existed (gob tolerates the
+	// added field), which re-applies every journaled cut — correct, since
+	// those runs journaled none.
+	CutSeq int64
+	// DropSpans are byte ranges of the access log that were served and
+	// logged but dropped from the sessionizer under drop-count shedding and
+	// not yet reconciled at snapshot time. Recovery restores them as the
+	// pending-backfill ledger so a crash cannot leak dropped records past
+	// the conservation accounting.
+	DropSpans []DropSpan
+}
+
+// DropSpan is a half-open byte range [Start, End) of the access log holding
+// Records consecutive records that were dropped from the live tail under
+// drop-count shedding. Spans are coalesced by the writer (adjacent drops
+// merge), and reconciliation re-reads the range and pushes the records back
+// through the ingest queue.
+type DropSpan struct {
+	Start   int64
+	End     int64
+	Records int64
 }
 
 // ErrCorrupt reports a checkpoint file that exists but cannot be trusted:

@@ -30,13 +30,24 @@ func sampleCheckpoint() *checkpoint.Checkpoint {
 				{User: "10.0.0.2", Last: base.Add(-time.Hour)}, // closed burst
 			},
 		},
+		CutSeq: 7,
+		DropSpans: []checkpoint.DropSpan{
+			{Start: 1024, End: 2048, Records: 12},
+			{Start: 3000, End: 3500, Records: 4},
+		},
 	}
 }
 
 func equalCheckpoints(a, b *checkpoint.Checkpoint) bool {
 	if a.LogOffset != b.LogOffset || a.SinkOffset != b.SinkOffset ||
-		a.Tail.Stats != b.Tail.Stats || len(a.Tail.Users) != len(b.Tail.Users) {
+		a.Tail.Stats != b.Tail.Stats || len(a.Tail.Users) != len(b.Tail.Users) ||
+		a.CutSeq != b.CutSeq || len(a.DropSpans) != len(b.DropSpans) {
 		return false
+	}
+	for i := range a.DropSpans {
+		if a.DropSpans[i] != b.DropSpans[i] {
+			return false
+		}
 	}
 	for i := range a.Tail.Users {
 		au, bu := a.Tail.Users[i], b.Tail.Users[i]

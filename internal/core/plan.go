@@ -34,6 +34,7 @@ type Sessionizer interface {
 	Ingest(io.Reader, SessionSink) (int, error)
 	IngestOffsets(io.Reader, SessionSink, func(int64)) (int, error)
 	IngestFiles([]string, clf.FilePos, SessionSink, func(clf.FilePos) error) (int, error)
+	IngestFilesCuts([]string, clf.FilePos, int64, []ExpiryCut, SessionSink, func(clf.FilePos) error) (int, error)
 	Snapshot() TailSnapshot
 	Restore(TailSnapshot) error
 	Stats() Stats

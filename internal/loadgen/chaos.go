@@ -1,0 +1,340 @@
+// Chaos mode: the adversarial half of a serve soak. Where Run replays
+// well-behaved simulated users, RunChaos attacks the same server the way a
+// hostile or broken internet does — slowloris connections that trickle
+// headers forever, single-source floods, connection churn, and malformed
+// request lines — and classifies how the server defended itself. Chaos
+// results are data, not pass/fail: benchgate asserts on the classified
+// counts (and on the server's own /debug/metrics) after the run.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig configures one adversarial run. The zero value of each knob
+// picks a small default, so ChaosConfig{BaseURL: u} is a usable smoke test.
+type ChaosConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Slowloris is the number of concurrent slow connections, each sending
+	// a valid request line and then dripping one header every SlowInterval
+	// without ever finishing (default 8). A hardened server cuts them off
+	// with its read-header deadline.
+	Slowloris int
+	// SlowInterval is the drip period (default 500ms).
+	SlowInterval time.Duration
+	// FloodIPs is how many distinct hostile sources flood the server; each
+	// rides its own X-Forwarded-For address so per-IP admission sees them
+	// as separate clients (default 4).
+	FloodIPs int
+	// FloodPerIP is how many back-to-back requests each flooding source
+	// sends (default 50).
+	FloodPerIP int
+	// Churn is the number of connect-then-immediately-disconnect cycles,
+	// exercising connection accounting without ever sending a byte
+	// (default 100).
+	Churn int
+	// Malformed is the number of connections that send a garbage request
+	// line (default 25). The server should answer 400 or hang up, never
+	// log or ingest them.
+	Malformed int
+	// Duration bounds the whole chaos run (default 15s) — slowloris
+	// connections the server never closes are abandoned at the deadline.
+	Duration time.Duration
+	// Timeout bounds each flood request (default 5s).
+	Timeout time.Duration
+}
+
+// ChaosReport classifies what happened to each adversary.
+type ChaosReport struct {
+	// SlowOpened counts slowloris connections established; SlowServerClosed
+	// counts those the server terminated (read-header deadline) before the
+	// run deadline. Opened == ServerClosed means the defense held.
+	SlowOpened, SlowServerClosed int64
+	// Flood outcome counts, same vocabulary as Report: 2xx / 429 / 503 /
+	// everything else.
+	FloodSent, FloodAccepted, FloodRejected, FloodShed, FloodErrors int64
+	// ChurnCycles counts completed connect-disconnect cycles.
+	ChurnCycles int64
+	// MalformedSent counts garbage request lines written; MalformedRefused
+	// counts those answered with 4xx or an immediate hangup.
+	MalformedSent, MalformedRefused int64
+	// Duration is the wall-clock span of the chaos run.
+	Duration time.Duration
+}
+
+// Fields flattens the report for the benchgate JSON, prefixed chaos_ so it
+// can be merged with a concurrent replay Report's fields.
+func (r ChaosReport) Fields() map[string]any {
+	return map[string]any{
+		"chaos_slow_opened":        r.SlowOpened,
+		"chaos_slow_server_closed": r.SlowServerClosed,
+		"chaos_flood_sent":         r.FloodSent,
+		"chaos_flood_accepted":     r.FloodAccepted,
+		"chaos_flood_rejected":     r.FloodRejected,
+		"chaos_flood_shed":         r.FloodShed,
+		"chaos_flood_errors":       r.FloodErrors,
+		"chaos_churn_cycles":       r.ChurnCycles,
+		"chaos_malformed_sent":     r.MalformedSent,
+		"chaos_malformed_refused":  r.MalformedRefused,
+		"chaos_duration_seconds":   r.Duration.Seconds(),
+	}
+}
+
+// String summarizes the report for logs.
+func (r ChaosReport) String() string {
+	return fmt.Sprintf(
+		"slowloris=%d/%d closed flood sent=%d accepted=%d rejected=%d shed=%d errors=%d churn=%d malformed=%d/%d refused in %s",
+		r.SlowServerClosed, r.SlowOpened,
+		r.FloodSent, r.FloodAccepted, r.FloodRejected, r.FloodShed, r.FloodErrors,
+		r.ChurnCycles, r.MalformedRefused, r.MalformedSent,
+		r.Duration.Round(time.Millisecond))
+}
+
+// RunChaos attacks cfg.BaseURL with every configured adversary concurrently
+// and blocks until all of them finish or the deadline passes. Like Run, the
+// returned error covers setup only — adversary failures are the data.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (ChaosReport, error) {
+	if cfg.BaseURL == "" {
+		return ChaosReport{}, fmt.Errorf("loadgen: no base URL")
+	}
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Host == "" {
+		return ChaosReport{}, fmt.Errorf("loadgen: bad base URL %q", cfg.BaseURL)
+	}
+	addr := u.Host
+	if cfg.Slowloris <= 0 {
+		cfg.Slowloris = 8
+	}
+	if cfg.SlowInterval <= 0 {
+		cfg.SlowInterval = 500 * time.Millisecond
+	}
+	if cfg.FloodIPs <= 0 {
+		cfg.FloodIPs = 4
+	}
+	if cfg.FloodPerIP <= 0 {
+		cfg.FloodPerIP = 50
+	}
+	if cfg.Churn <= 0 {
+		cfg.Churn = 100
+	}
+	if cfg.Malformed <= 0 {
+		cfg.Malformed = 25
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 15 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var rep ChaosReport
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	for i := 0; i < cfg.Slowloris; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slowloris(ctx, addr, cfg.SlowInterval, &rep)
+		}()
+	}
+	for i := 0; i < cfg.FloodIPs; i++ {
+		ip := fmt.Sprintf("203.0.113.%d", i+1) // TEST-NET-3, never a real user
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			flood(ctx, cfg, ip, &rep)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		churn(ctx, addr, cfg.Churn, &rep)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		malformed(ctx, addr, cfg.Malformed, &rep)
+	}()
+
+	wg.Wait()
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// slowloris holds one connection in the header phase forever: a valid
+// request line, then one useless header per interval, never the blank line
+// that ends the headers. The connection counts as server-closed when a read
+// hits EOF or a drip write fails before ctx expires.
+func slowloris(ctx context.Context, addr string, interval time.Duration, rep *ChaosReport) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	atomic.AddInt64(&rep.SlowOpened, 1)
+	if _, err := c.Write([]byte("GET / HTTP/1.1\r\nHost: chaos\r\n")); err != nil {
+		atomic.AddInt64(&rep.SlowServerClosed, 1)
+		return
+	}
+	buf := make([]byte, 256)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		// A server that hit its read-header deadline has closed the
+		// connection: the read sees EOF (or a 408), and if TCP buffering
+		// hides that from the first write, the next drip's write fails.
+		c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		if n, err := c.Read(buf); err == io.EOF || n > 0 {
+			atomic.AddInt64(&rep.SlowServerClosed, 1)
+			return
+		}
+		if _, err := c.Write([]byte("X-Drip: y\r\n")); err != nil {
+			atomic.AddInt64(&rep.SlowServerClosed, 1)
+			return
+		}
+	}
+}
+
+// flood fires back-to-back requests from one simulated source address and
+// classifies every response.
+func flood(ctx context.Context, cfg ChaosConfig, ip string, rep *ChaosReport) {
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	defer client.CloseIdleConnections()
+	for i := 0; i < cfg.FloodPerIP; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/", nil)
+		if err != nil {
+			return
+		}
+		req.Header.Set("User-Agent", "smartsra-chaos/1.0")
+		req.Header.Set("X-Forwarded-For", ip)
+		atomic.AddInt64(&rep.FloodSent, 1)
+		resp, err := client.Do(req)
+		if err != nil {
+			atomic.AddInt64(&rep.FloodErrors, 1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			atomic.AddInt64(&rep.FloodRejected, 1)
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			atomic.AddInt64(&rep.FloodShed, 1)
+		case resp.StatusCode >= 200 && resp.StatusCode < 400:
+			atomic.AddInt64(&rep.FloodAccepted, 1)
+		default:
+			atomic.AddInt64(&rep.FloodErrors, 1)
+		}
+	}
+}
+
+// churn opens and immediately abandons connections — no bytes, no goodbye —
+// the pattern of port scanners and broken clients. The server should account
+// for them (serve.conns.*) and leak nothing.
+func churn(ctx context.Context, addr string, n int, rep *ChaosReport) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return
+		}
+		c.Close()
+		atomic.AddInt64(&rep.ChurnCycles, 1)
+	}
+}
+
+// malformed sends garbage request lines and counts the server's refusals
+// (4xx or an immediate hangup). Anything else — a 2xx, a hang — is left
+// uncounted and shows up as MalformedSent > MalformedRefused.
+func malformed(ctx context.Context, addr string, n int, rep *ChaosReport) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return
+		}
+		atomic.AddInt64(&rep.MalformedSent, 1)
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Write([]byte("SMASH /\x00garbage\r\n\r\n")); err != nil {
+			atomic.AddInt64(&rep.MalformedRefused, 1)
+			c.Close()
+			continue
+		}
+		br := bufio.NewReader(c)
+		line, err := br.ReadString('\n')
+		switch {
+		case err != nil:
+			// Immediate hangup with no status line is also a refusal.
+			atomic.AddInt64(&rep.MalformedRefused, 1)
+		case strings.Contains(line, " 4"):
+			atomic.AddInt64(&rep.MalformedRefused, 1)
+		}
+		c.Close()
+	}
+}
+
+// ScrapeMetrics fetches baseURL's /debug/metrics text endpoint ("counter
+// name value" / "gauge name value" lines, labeled series rendered as
+// name{k="v"}) into a flat map. Chaos soaks use it to read the server's own
+// conservation and admission counters into the benchgate report.
+func ScrapeMetrics(ctx context.Context, baseURL string) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s/debug/metrics: status %d", baseURL, resp.StatusCode)
+	}
+	m := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 3 || (f[0] != "counter" && f[0] != "gauge") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(f[2], "%d", &v); err == nil {
+			m[f[1]] = v
+		}
+	}
+	return m, sc.Err()
+}

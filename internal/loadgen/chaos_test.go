@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"smartsra/internal/webserver"
+)
+
+// startHardenedServer runs a real http.Server with a read-header deadline
+// and per-IP admission — the defenses chaos mode exists to exercise.
+func startHardenedServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 200 * time.Millisecond}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestChaosClassification runs every adversary against a hardened server
+// and pins the classification: slowloris connections all get cut off by the
+// read-header deadline, floods split into admitted-within-budget plus 429s,
+// churn completes, and malformed request lines are all refused.
+func TestChaosClassification(t *testing.T) {
+	const (
+		slow       = 4
+		floodIPs   = 3
+		floodPerIP = 10
+		burst      = 3
+		churnN     = 20
+		malformedN = 5
+	)
+	adm := webserver.NewAdmission(webserver.AdmissionConfig{
+		PerIPRate:         0.001, // effectively no refill within the test
+		PerIPBurst:        burst,
+		TrustForwardedFor: true,
+	})
+	base := startHardenedServer(t, adm.Wrap(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })))
+
+	rep, err := RunChaos(context.Background(), ChaosConfig{
+		BaseURL:      base,
+		Slowloris:    slow,
+		SlowInterval: 50 * time.Millisecond,
+		FloodIPs:     floodIPs,
+		FloodPerIP:   floodPerIP,
+		Churn:        churnN,
+		Malformed:    malformedN,
+		Duration:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos: %s", rep)
+
+	if rep.SlowOpened != slow {
+		t.Errorf("slowloris opened %d connections, want %d", rep.SlowOpened, slow)
+	}
+	if rep.SlowServerClosed != rep.SlowOpened {
+		t.Errorf("server closed %d of %d slowloris connections; the read-header deadline should kill them all",
+			rep.SlowServerClosed, rep.SlowOpened)
+	}
+	if rep.FloodSent != floodIPs*floodPerIP {
+		t.Errorf("flood sent %d, want %d", rep.FloodSent, floodIPs*floodPerIP)
+	}
+	if got := rep.FloodAccepted + rep.FloodRejected + rep.FloodShed + rep.FloodErrors; got != rep.FloodSent {
+		t.Errorf("flood classification leaks: %d classified of %d sent", got, rep.FloodSent)
+	}
+	// Each flooding IP gets its burst admitted and (nearly) everything else
+	// 429'd; the tiny refill rate can admit at most a request or two extra.
+	if rep.FloodAccepted < floodIPs*burst {
+		t.Errorf("flood accepted %d, want at least the %d budgeted", rep.FloodAccepted, floodIPs*burst)
+	}
+	if rep.FloodRejected < int64(floodIPs*(floodPerIP-burst)-floodIPs) {
+		t.Errorf("flood rejected %d, want ~%d over-budget requests 429'd",
+			rep.FloodRejected, floodIPs*(floodPerIP-burst))
+	}
+	if rep.ChurnCycles != churnN {
+		t.Errorf("churn completed %d cycles, want %d", rep.ChurnCycles, churnN)
+	}
+	if rep.MalformedSent != malformedN || rep.MalformedRefused != malformedN {
+		t.Errorf("malformed: %d/%d refused, want all %d",
+			rep.MalformedRefused, rep.MalformedSent, malformedN)
+	}
+}
+
+// TestScrapeMetrics round-trips the /debug/metrics text format through the
+// scraper, including a labeled series.
+func TestScrapeMetrics(t *testing.T) {
+	base := startHardenedServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(
+			"counter serve.requests 42\n" +
+				"gauge   serve.drops.pending 0\n" +
+				"counter serve.admission.requests{outcome=\"admitted\"} 7\n" +
+				"hist    serve.request.seconds count=3\n"))
+	}))
+	m, err := ScrapeMetrics(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"serve.requests":      42,
+		"serve.drops.pending": 0,
+		`serve.admission.requests{outcome="admitted"}`: 7,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("scraped %s = %d, want %d", k, m[k], v)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("scraped %d entries, want %d: %v", len(m), len(want), m)
+	}
+}

@@ -51,6 +51,10 @@ type Report struct {
 	Accepted int64
 	// Shed counts 503 responses — the server's explicit load-shedding signal.
 	Shed int64
+	// Rejected counts 429 responses — per-client admission control saying
+	// this source specifically is over budget (distinct from 503's "the
+	// server is saturated").
+	Rejected int64
 	// Errors counts transport failures and any other status.
 	Errors int64
 	// Duration is the wall-clock span of the replay.
@@ -76,6 +80,7 @@ func (r Report) Fields() map[string]any {
 		"sent":             r.Sent,
 		"accepted":         r.Accepted,
 		"shed":             r.Shed,
+		"rejected":         r.Rejected,
 		"errors":           r.Errors,
 		"shed_rate":        r.ShedRate(),
 		"duration_seconds": r.Duration.Seconds(),
@@ -90,8 +95,8 @@ func (r Report) Fields() map[string]any {
 // String summarizes the report for logs.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"sent=%d accepted=%d shed=%d errors=%d shed_rate=%.3f p50=%s p99=%s p999=%s in %s",
-		r.Sent, r.Accepted, r.Shed, r.Errors, r.ShedRate(),
+		"sent=%d accepted=%d shed=%d rejected=%d errors=%d shed_rate=%.3f p50=%s p99=%s p999=%s in %s",
+		r.Sent, r.Accepted, r.Shed, r.Rejected, r.Errors, r.ShedRate(),
 		secs(r.Latency.Quantile(0.50)), secs(r.Latency.Quantile(0.99)),
 		secs(r.Latency.Quantile(0.999)), r.Duration.Round(time.Millisecond))
 }
@@ -128,6 +133,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		sent     = reg.GetCounter("loadgen.sent")
 		accepted = reg.GetCounter("loadgen.accepted")
 		shed     = reg.GetCounter("loadgen.shed")
+		rejected = reg.GetCounter("loadgen.rejected")
 		errors   = reg.GetCounter("loadgen.errors")
 		latency  = reg.GetHistogramBuckets("loadgen.latency.seconds", metrics.LatencyBuckets)
 	)
@@ -182,6 +188,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 				case resp.StatusCode == http.StatusServiceUnavailable:
 					atomic.AddInt64(&rep.Shed, 1)
 					shed.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					atomic.AddInt64(&rep.Rejected, 1)
+					rejected.Add(1)
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					atomic.AddInt64(&rep.Accepted, 1)
 					accepted.Add(1)

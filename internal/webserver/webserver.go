@@ -177,20 +177,7 @@ func AccessLogWith(next http.Handler, sink LogSink, opts LogOptions) http.Handle
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
 		at := now()
 		next.ServeHTTP(cw, r)
-		host := r.RemoteAddr
-		if h, _, err := net.SplitHostPort(host); err == nil {
-			host = h
-		}
-		if opts.TrustForwardedFor {
-			if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
-				if i := strings.IndexByte(fwd, ','); i >= 0 {
-					fwd = fwd[:i]
-				}
-				if fwd = strings.TrimSpace(fwd); fwd != "" {
-					host = fwd
-				}
-			}
-		}
+		host := ClientIP(r, opts.TrustForwardedFor)
 		uri := r.URL.RequestURI()
 		sink.Record(clf.SanitizeRecord(clf.Record{
 			Host:      host,
@@ -206,6 +193,30 @@ func AccessLogWith(next http.Handler, sink LogSink, opts LogOptions) http.Handle
 			UserAgent: headerOrDash(r.Header.Get("User-Agent")),
 		}))
 	})
+}
+
+// ClientIP resolves the client address a request should be attributed to:
+// the connection's remote host, or — when trustForwardedFor is set and an
+// X-Forwarded-For header is present — the first address in that header (the
+// originating client as recorded by a trusted proxy). Access logging and
+// per-IP admission control share this resolution, so the identity that is
+// rate-limited is exactly the identity that is logged and sessionized.
+func ClientIP(r *http.Request, trustForwardedFor bool) string {
+	host := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	if trustForwardedFor {
+		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+			if i := strings.IndexByte(fwd, ','); i >= 0 {
+				fwd = fwd[:i]
+			}
+			if fwd = strings.TrimSpace(fwd); fwd != "" {
+				host = fwd
+			}
+		}
+	}
+	return host
 }
 
 func headerOrDash(v string) string {
